@@ -1,0 +1,24 @@
+"""Figure 1: the SSD landscape grid (structural reproduction).
+
+Regenerates the taxonomy figure: SSD models organized by FTL placement
+and FTL abstraction, with the remaining design-space dimensions
+annotated.
+"""
+
+from repro.benchhelpers import report
+from repro.landscape import SSD_MODELS, figure1_grid, render_figure1
+
+
+def test_fig1_landscape(benchmark):
+    grid = benchmark(figure1_grid)
+    lines = ["Figure 1: SSD models by FTL placement x FTL abstraction", ""]
+    lines.append(render_figure1())
+    lines.append("")
+    lines.append("Annotated dimensions per model:")
+    for model in SSD_MODELS:
+        dims = model.dimensions()
+        lines.append(
+            f"  {model.name:28s} ({dims['chips']}, {dims['integration']}, "
+            f"{dims['transparency']}, {dims['access']})")
+    report("fig1_landscape", lines)
+    assert sum(len(models) for models in grid.values()) == len(SSD_MODELS)

@@ -1,0 +1,97 @@
+"""Figure 3: impact of checkpoint intervals on recovery time.
+
+The paper's experiment: OX-Block absorbs random transactional writes of
+up to 1 MB; OX is killed (`kill -9`) at six points in time T1..T6; after
+restart, recovery reconstructs metadata and mapping state.  Three
+configurations: checkpointing disabled, checkpoint interval Ci, and 3*Ci
+(the paper used Ci 10 s and Ci 30 s against a 120 s run; we scale the
+run to 3 s of simulated time and the intervals to 0.25 s / 0.75 s —
+same ratio of interval to runtime).
+
+Expected shape (paper): without checkpoints recovery grows linearly with
+the log and reaches the same order as the runtime; with checkpoints it
+oscillates and stays bounded; the two checkpointed intervals do not
+differ much.
+"""
+
+import pytest
+
+from repro.benchhelpers import report
+from repro.nand import FlashGeometry
+from repro.ocssd import DeviceGeometry, OpenChannelSSD
+from repro.ox import BlockConfig, MediaManager, OXBlock
+from repro.units import MIB, fmt_time
+from repro.workloads import RandomWriteWorkload
+
+# T1..T6, simulated seconds (paper: 20..120 s; scale factor 40).
+FAIL_POINTS = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+INTERVALS = {"disabled": None, "Ci 0.25s": 0.25, "Ci 0.75s": 0.75}
+
+
+def run_one(checkpoint_interval, fail_at: float) -> float:
+    geometry = DeviceGeometry(
+        num_groups=4, pus_per_group=4,
+        flash=FlashGeometry(blocks_per_plane=144, pages_per_block=24))
+    device = OpenChannelSSD(geometry=geometry)
+    media = MediaManager(device)
+    config = BlockConfig(checkpoint_interval=checkpoint_interval,
+                         wal_chunk_count=140,
+                         ckpt_chunks_per_slot=2,
+                         wal_pressure_threshold=0.95,
+                         replay_cpu_per_record=2e-5)
+    ftl = OXBlock.format(media, config)
+    workload = RandomWriteWorkload(
+        lba_space=geometry.capacity_bytes // geometry.sector_size // 4,
+        max_bytes=1 * MIB, seed=23)
+    sim = device.sim
+
+    def writer():
+        for op in workload.operations():
+            if sim.now >= fail_at:
+                return
+            yield from ftl.write_proc(op.lba,
+                                      op.payload(geometry.sector_size))
+
+    sim.run_until(sim.spawn(writer()))
+    ftl.crash()
+    __, recovery = OXBlock.recover(media, config)
+    return recovery.duration
+
+
+def run_grid():
+    results = {}
+    for label, interval in INTERVALS.items():
+        results[label] = [run_one(interval, t) for t in FAIL_POINTS]
+    return results
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_recovery_time(benchmark):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    lines = ["Figure 3: recovery time vs failure time, per checkpoint "
+             "interval", "(paper runtime 120 s scaled to 3 s; Ci 10/30 s "
+             "scaled to 0.25/0.75 s)", "",
+             f"{'failure at':>10s} | " + " | ".join(
+                 f"{label:>12s}" for label in INTERVALS)]
+    for index, fail_at in enumerate(FAIL_POINTS):
+        row = " | ".join(f"{fmt_time(results[label][index]):>12s}"
+                         for label in INTERVALS)
+        lines.append(f"{fail_at:>9.1f}s | {row}")
+
+    disabled = results["disabled"]
+    bounded = results["Ci 0.25s"]
+    lines.append("")
+    lines.append(f"no-checkpoint growth T1->T6: "
+                 f"{disabled[-1] / max(disabled[0], 1e-9):.1f}x "
+                 f"(paper: linear growth to ~100 s at T6)")
+    lines.append(f"checkpointed max/min oscillation: "
+                 f"{max(bounded) / max(min(bounded), 1e-9):.1f}x, "
+                 f"bounded below the no-checkpoint tail")
+    report("fig3_recovery", lines)
+
+    # Shape assertions: monotone growth without checkpoints; the
+    # checkpointed configs stay below the no-checkpoint tail.
+    assert disabled[-1] > disabled[0] * 2
+    assert max(results["Ci 0.25s"]) < disabled[-1]
+    assert max(results["Ci 0.75s"]) < disabled[-1]

@@ -1,0 +1,93 @@
+"""Figure 5: RocksDB db_bench throughput by workload, placement, clients.
+
+Regenerates the paper's main table: average operations/second for
+fill-sequential, read-sequential and read-random under horizontal vs
+vertical SSTable placement, with 1/2/4/8 client threads.  16 B keys,
+1 KB values, no compression, no block cache.
+
+Scale: the paper filled 3 GB per thread onto 24 MB chunks / 768 MB
+SSTables; we fill 24 MB per thread onto 192 KB chunks / ~6 MB SSTables
+(a uniform 1:128 scale).  Expected shapes (paper):
+
+* fill-seq >> read-seq >> read-random;
+* fill-seq: horizontal ahead at 1-2 clients (4x at 1 in the paper),
+  vertical scales gracefully and catches up at 4-8 clients;
+* reads: horizontal dominates vertical, more so with more clients;
+* read-seq h/v at 1c: 13.1/10.3 kops; read-random h/v at 8c: 5.7/3.1.
+"""
+
+import pytest
+
+from repro.benchhelpers import format_kops, lightlsm_db, report
+from repro.lsm import DbBench, HorizontalPlacement, VerticalPlacement
+
+CLIENTS = (1, 2, 4, 8)
+FILL_OPS = 24_000          # 24 MB per client at 1 KB values
+READSEQ_OPS = 6_000
+READRAND_OPS = 400
+
+
+def run_cell(placement_cls, clients):
+    device, env, db = lightlsm_db(placement_cls())
+    bench = DbBench(db)
+    fill = bench.fill_sequential(clients=clients, ops_per_client=FILL_OPS)
+    bench.quiesce()
+    readseq = bench.read_sequential(clients=clients,
+                                    ops_per_client=READSEQ_OPS)
+    readrand = bench.read_random(clients=clients,
+                                 ops_per_client=READRAND_OPS)
+    return {
+        "fill": fill.ops_per_sec,
+        "readseq": readseq.ops_per_sec,
+        "readrand": readrand.ops_per_sec,
+        "levels": db.level_sizes(),
+        "stall": fill.stall_seconds,
+        "compactions": fill.compactions,
+    }
+
+
+def run_grid():
+    grid = {}
+    for placement_cls in (HorizontalPlacement, VerticalPlacement):
+        for clients in CLIENTS:
+            grid[(placement_cls.name, clients)] = run_cell(placement_cls,
+                                                           clients)
+    return grid
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_dbbench_throughput(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    lines = ["Figure 5: db_bench average throughput (kops/s)",
+             "(16 B keys, 1 KB values, no compression/caching; "
+             "24 MB per client, 1:128 scale)", ""]
+    header = (f"{'workload':>16s} {'placement':>11s} | "
+              + " | ".join(f"{c:>2d} cl" for c in CLIENTS))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload in ("fill", "readseq", "readrand"):
+        for placement in ("horizontal", "vertical"):
+            row = " | ".join(
+                format_kops(grid[(placement, c)][workload])
+                for c in CLIENTS)
+            lines.append(f"{workload:>16s} {placement:>11s} | {row}")
+    lines.append("")
+    sample = grid[("horizontal", 8)]
+    lines.append(f"levels after fill (horizontal, 8 clients): "
+                 f"{sample['levels']} — the paper reports 3 populated "
+                 "levels (L0, L1, L2)")
+    report("fig5_dbbench", lines)
+
+    h = {c: grid[("horizontal", c)] for c in CLIENTS}
+    v = {c: grid[("vertical", c)] for c in CLIENTS}
+    for c in CLIENTS:
+        # Ordering within each cell: fill >> readseq > readrand.
+        assert h[c]["fill"] > h[c]["readrand"]
+        assert h[c]["readseq"] > h[c]["readrand"]
+    # Horizontal wins the 1-client fill; vertical scales with clients.
+    assert h[1]["fill"] > 1.2 * v[1]["fill"]
+    assert v[8]["fill"] > 1.5 * v[1]["fill"]
+    # Horizontal dominates vertical for reads at high client counts.
+    assert h[8]["readseq"] >= v[8]["readseq"]
+    assert h[8]["readrand"] >= v[8]["readrand"]

@@ -1,0 +1,81 @@
+"""Figure 6: fill-sequential throughput as a function of time.
+
+Regenerates the two time-series panels: throughput (ops/s) over the run
+for horizontal and vertical placement at 1/2/4/8 clients.  Expected
+shapes (paper): horizontal stays high with 1-2 clients and stretches out
+at 4-8; vertical shows an early 1-client peak but a lower average, and
+becomes steadier (and relatively faster) with more clients; throughput
+fluctuates throughout — the write-stall/rate-limiter throttling the
+paper hypothesizes.
+"""
+
+import pytest
+
+from repro.benchhelpers import lightlsm_db, report
+from repro.lsm import DbBench, HorizontalPlacement, VerticalPlacement
+
+CLIENTS = (1, 2, 4, 8)
+FILL_OPS = 24_000
+WINDOW = 0.05   # seconds per sample
+
+
+def run_timelines():
+    curves = {}
+    for placement_cls in (HorizontalPlacement, VerticalPlacement):
+        for clients in CLIENTS:
+            device, env, db = lightlsm_db(placement_cls())
+            bench = DbBench(db, series_window=WINDOW)
+            result = bench.fill_sequential(clients=clients,
+                                           ops_per_client=FILL_OPS)
+            curves[(placement_cls.name, clients)] = result
+    return curves
+
+
+def sparkline(series, buckets=32):
+    """Render a series as a coarse ASCII sparkline."""
+    if not series:
+        return ""
+    rates = [rate for __, rate in series]
+    peak = max(rates) or 1.0
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(rates) // buckets)
+    sampled = [max(rates[i:i + step]) for i in range(0, len(rates), step)]
+    return "".join(glyphs[min(len(glyphs) - 1,
+                              int(r / peak * (len(glyphs) - 1)))]
+                   for r in sampled)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fill_timeline(benchmark):
+    curves = benchmark.pedantic(run_timelines, rounds=1, iterations=1)
+
+    lines = ["Figure 6: fill-sequential throughput over time",
+             f"(sampling window {WINDOW * 1e3:.0f} ms; each row: duration, "
+             "peak and mean rate, ASCII profile)", ""]
+    for placement in ("horizontal", "vertical"):
+        lines.append(f"--- {placement} placement ---")
+        for clients in CLIENTS:
+            result = curves[(placement, clients)]
+            rates = [rate for __, rate in result.series]
+            peak = max(rates) if rates else 0.0
+            lines.append(
+                f"{clients} client(s): {result.elapsed:6.2f}s  "
+                f"peak {peak / 1e3:7.1f} kops/s  "
+                f"mean {result.ops_per_sec / 1e3:7.1f} kops/s  "
+                f"stall {result.stall_seconds:5.2f}s")
+            lines.append(f"    |{sparkline(result.series)}|")
+        lines.append("")
+    report("fig6_timeline", lines)
+
+    horizontal = {c: curves[("horizontal", c)] for c in CLIENTS}
+    vertical = {c: curves[("vertical", c)] for c in CLIENTS}
+    # Completion time stretches with client count (same per-client ops,
+    # shared device).
+    assert horizontal[8].elapsed > horizontal[1].elapsed
+    assert vertical[8].elapsed > vertical[1].elapsed
+    # Fluctuation: the throughput profile is not flat (stall throttling).
+    rates8 = [rate for __, rate in horizontal[8].series if rate > 0]
+    assert max(rates8) > 2 * (sum(rates8) / len(rates8))
+    # Vertical's 1-client run shows a peak well above its mean.
+    rates_v1 = [rate for __, rate in vertical[1].series if rate > 0]
+    assert max(rates_v1) > 1.5 * vertical[1].ops_per_sec

@@ -1,0 +1,61 @@
+"""The §2.1 / §2.2 unit-of-write arithmetic and the Figure 4 geometry.
+
+Regenerates the in-text numbers: 256 KB write unit on 4-plane QLC, 96 KB
+(24 logical blocks) on dual-plane TLC, 24 MB chunks, 768 MB SSTables.
+"""
+
+from repro.benchhelpers import report
+from repro.nand import (
+    CellType,
+    FlashGeometry,
+    unit_of_write_bytes,
+    unit_of_write_sectors,
+)
+from repro.ocssd import DeviceGeometry
+from repro.units import KIB, MIB, fmt_bytes
+
+
+def compute_table():
+    rows = []
+    for cell in CellType:
+        for planes in (1, 2, 4):
+            sectors = unit_of_write_sectors(cell, planes, sectors_per_page=4)
+            size = unit_of_write_bytes(cell, planes, 4, 4 * KIB)
+            rows.append((cell.name, planes, sectors, size))
+    return rows
+
+
+def test_unit_of_write_table(benchmark):
+    rows = benchmark(compute_table)
+    lines = ["Unit of write by cell type and plane count "
+             "(4 KB sectors, 4 sectors/page):", "",
+             f"{'cell':>5s} {'planes':>7s} {'sectors':>8s} {'size':>10s}"]
+    for cell, planes, sectors, size in rows:
+        lines.append(f"{cell:>5s} {planes:>7d} {sectors:>8d} "
+                     f"{fmt_bytes(size):>10s}")
+    lines.append("")
+
+    # The paper's two worked examples, verified exactly.
+    qlc = unit_of_write_bytes(CellType.QLC, 4, 4, 4 * KIB)
+    tlc = unit_of_write_sectors(CellType.TLC, 2, 4)
+    lines.append(f"paper check: QLC x4 planes = {fmt_bytes(qlc)} "
+                 f"(expected 256 KiB) -> {'OK' if qlc == 256 * KIB else 'FAIL'}")
+    lines.append(f"paper check: dual-plane TLC = {tlc} logical blocks "
+                 f"(expected 24) -> {'OK' if tlc == 24 else 'FAIL'}")
+
+    # Figure 4 geometry at full scale.
+    full = DeviceGeometry(num_groups=8, pus_per_group=4,
+                          flash=FlashGeometry(pages_per_block=768,
+                                              blocks_per_plane=1474))
+    sstable = full.total_pus * full.chunk_size
+    lines.append(f"Figure 4 drive: chunk = {fmt_bytes(full.chunk_size)} "
+                 f"(expected 24 MiB), 1474 chunks/PU, "
+                 f"SSTable = 32 x chunk = {fmt_bytes(sstable)} "
+                 f"(expected 768 MiB)")
+    report("unit_of_write", lines)
+
+    assert qlc == 256 * KIB
+    assert tlc == 24
+    assert full.chunk_size == 24 * MIB
+    assert sstable == 768 * MIB
+    assert full.sectors_per_chunk == 6144

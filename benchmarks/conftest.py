@@ -1,0 +1,20 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures (or an in-text
+number).  Simulated metrics are printed as the figure's rows/series;
+pytest-benchmark additionally records the wall-clock cost of running each
+simulation.  Scale factors relative to the paper's testbed are printed by
+each bench and documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_header(title: str, scale_note: str = "") -> None:
+    print("\n" + "=" * 74)
+    print(title)
+    if scale_note:
+        print(scale_note)
+    print("=" * 74)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A tour of the SSD landscape (Figure 1) and performance contracts (§5).
+
+Prints the paper's taxonomy grid, then runs a co-design session: declare
+a performance contract, characterize two candidate Open-Channel SSDs
+(a TLC drive and a QLC drive), and pick the one that complies — §5's
+"evaluate which Open-Channel SSD actually complies with the performance
+requirements".
+
+Run:  python examples/landscape_tour.py
+"""
+
+from repro.contract import (
+    ContractTerm,
+    PerformanceContract,
+    characterize_device,
+)
+from repro.landscape import render_figure1
+from repro.nand import CellType, FlashGeometry
+from repro.ocssd import DeviceGeometry, OpenChannelSSD
+from repro.units import MS, US
+
+
+def build_device(cell: CellType) -> OpenChannelSSD:
+    pages = 24 if cell is CellType.TLC else 16   # paired-page alignment
+    geometry = DeviceGeometry(
+        num_groups=2, pus_per_group=2,
+        flash=FlashGeometry(cell=cell, blocks_per_plane=8,
+                            pages_per_block=pages))
+    return OpenChannelSSD(geometry=geometry)
+
+
+def main() -> None:
+    print("The SSD landscape (Figure 1):\n")
+    print(render_figure1())
+
+    print("\n\nCo-design session: choosing a drive by contract")
+    contract = PerformanceContract([
+        ContractTerm("read_sector_p99", 200 * US,
+                     "(point reads must stay sub-200us)"),
+        ContractTerm("write_unit_mean", 5 * MS,
+                     "(buffered unit writes within 5ms)"),
+        ContractTerm("endurance", 3_000, "(erase-cycle floor)",
+                     kind="min"),
+    ])
+    for term in contract.terms:
+        op = "<=" if term.kind == "max" else ">="
+        print(f"  - {term.metric} {op} {term.bound:g} {term.description}")
+
+    for cell in (CellType.TLC, CellType.QLC):
+        device = build_device(cell)
+        metrics = characterize_device(device, samples=16)
+        report = contract.check(metrics)
+        verdict = "COMPLIES" if report.passed else "REJECTED"
+        print(f"\n{cell.name} drive: {verdict}")
+        print(f"  read p99  = {metrics['read_sector_p99'] / US:8.1f} us")
+        print(f"  write avg = {metrics['write_unit_mean'] / US:8.1f} us")
+        print(f"  endurance = {metrics['endurance']:8.0f} cycles")
+        for violation in report.violations:
+            print(f"  violation: {violation}")
+
+    print("\n'Require a performance contract, not a warranty' (§5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments that lack the `wheel` package (setuptools reads the project
+metadata from pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro: a reproduction of "Open-Channel SSD (What is it Good For)".
+
+The package rebuilds, in simulation, every system the CIDR 2020 paper by
+Picoli, Hedam, Bonnet and Tözün describes: the Open-Channel SSD itself,
+the OX framework's media manager and modular FTL, the three OX-based
+FTLs (OX-Block, OX-ELEOS, LightLSM), the data systems above them
+(LLAMA-lite, RocksDB-lite), the OX-ZNS target, and the evaluation
+harness that regenerates the paper's figures.
+
+Most applications start from three objects::
+
+    from repro.ocssd import DeviceGeometry, OpenChannelSSD
+    from repro.ox import MediaManager, OXBlock, BlockConfig
+
+    device = OpenChannelSSD(geometry=DeviceGeometry())
+    media = MediaManager(device)
+    ftl = OXBlock.format(media, BlockConfig())
+
+Subpackages
+-----------
+``repro.sim``
+    The deterministic discrete-event simulation kernel everything runs on.
+``repro.nand``
+    Flash chips: cell types, paired pages, planes, timing, wear.
+``repro.ocssd``
+    The Open-Channel SSD device model (OCSSD 2.0-style interface).
+``repro.ox``
+    The OX framework: media manager, modular FTL, OX-Block, OX-ELEOS.
+``repro.llama``
+    LLAMA-lite, the log-structured page store driving OX-ELEOS.
+``repro.lsm``
+    RocksDB-lite and its storage environments, including LightLSM.
+``repro.zns``
+    OX-ZNS: Zoned Namespaces as an FTL over the Open-Channel SSD.
+``repro.host``
+    The DFC controller platform and data-copy cost model.
+``repro.landscape``
+    The paper's Figure 1 design-space taxonomy.
+``repro.contract``
+    Performance contracts for FTL/device co-design.
+``repro.workloads``
+    Deterministic workload generators for the benchmarks.
+"""
+
+__version__ = "0.1.0"
+__paper__ = ("Picoli, Hedam, Bonnet, Tözün. "
+             "Open-Channel SSD (What is it Good For). CIDR 2020.")

@@ -1,0 +1,62 @@
+"""Shared builders and reporting for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures.  Results are
+printed and also written to ``benchmarks/results/<name>.txt`` so the
+series survive pytest's output capture; EXPERIMENTS.md indexes them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lsm import DB, DBConfig, DbBench, LightLSMEnv, PlacementPolicy
+from repro.nand import FlashGeometry
+from repro.ocssd import DeviceGeometry, OpenChannelSSD
+from repro.ox import MediaManager
+from repro.units import KIB, MIB
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "benchmarks", "results")
+
+
+def report(name: str, lines: Iterable[str]) -> str:
+    """Print *lines* and persist them under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def evaluation_device(chunks_per_pu: int = 160) -> OpenChannelSSD:
+    """The Figure 4 drive, scaled: 8 groups x 4 PUs, dual-plane TLC,
+    96 KB write unit; chunks scaled from 24 MB to 192 KB (factor 128) so
+    a pure-Python run stays tractable.  SSTable = one chunk per PU, as in
+    the paper."""
+    geometry = DeviceGeometry(
+        num_groups=8, pus_per_group=4,
+        flash=FlashGeometry(blocks_per_plane=chunks_per_pu,
+                            pages_per_block=6))
+    return OpenChannelSSD(geometry=geometry)
+
+
+def lightlsm_db(placement: PlacementPolicy,
+                chunks_per_pu: int = 160,
+                write_buffer_bytes: int = 4 * MIB) -> Tuple[OpenChannelSSD,
+                                                            LightLSMEnv, DB]:
+    """The Figure 5/6 stack: RocksDB-lite over LightLSM over the scaled
+    evaluation drive, 96 KB blocks, no compression, no block cache."""
+    device = evaluation_device(chunks_per_pu)
+    media = MediaManager(device)
+    env = LightLSMEnv(media, placement)
+    config = DBConfig(block_size=96 * KIB,
+                      write_buffer_bytes=write_buffer_bytes)
+    db = DB(env, config, device.sim)
+    return device, env, db
+
+
+def format_kops(value: float) -> str:
+    return f"{value / 1e3:8.3f}"

@@ -1,0 +1,16 @@
+"""Performance contracts (§5: "Require a performance contract, not a
+warranty")."""
+
+from repro.contract.perf_contract import (
+    ContractReport,
+    ContractTerm,
+    PerformanceContract,
+    characterize_device,
+)
+
+__all__ = [
+    "ContractReport",
+    "ContractTerm",
+    "PerformanceContract",
+    "characterize_device",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError` so
+applications can catch library failures with a single handler while still
+distinguishing device-level faults (media errors, geometry violations) from
+FTL-level faults (transaction aborts, recovery failures).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly."""
+
+
+class GeometryError(ReproError):
+    """An address or configuration does not fit the device geometry."""
+
+
+class MediaError(ReproError):
+    """A media-level failure (program/erase/read failure, worn-out block)."""
+
+
+class WritePointerError(ReproError):
+    """A write violated the sequential-write-within-chunk rule."""
+
+
+class ChunkStateError(ReproError):
+    """A command was issued against a chunk in an incompatible state."""
+
+
+class WriteUnitError(ReproError):
+    """A write did not respect the device's minimum write unit (ws_min)."""
+
+
+class FTLError(ReproError):
+    """Generic FTL-level failure."""
+
+
+class OutOfSpaceError(FTLError):
+    """The FTL ran out of free chunks (even after garbage collection)."""
+
+
+class RecoveryError(FTLError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class TransactionError(FTLError):
+    """A transactional FTL operation could not be made atomic/durable."""
+
+
+class ZoneError(ReproError):
+    """A ZNS zone was used in violation of the zone state machine."""
+
+
+class ContractViolation(ReproError):
+    """A measured behaviour violated a declared performance contract."""

@@ -1,0 +1,14 @@
+"""Host/controller platform model: the DFC card and its data-copy costs.
+
+Figure 7 of the paper shows the DFC storage controller's CPU saturating
+with only 2 host writer threads "because it cannot keep up with the data
+copies within OX: from the network stack to the FTL, and from the FTL to
+the Open-Channel SSD".  This package models exactly that mechanism: a
+fixed pool of copy-capable cores with finite memcpy bandwidth, two copies
+per LSS buffer on the write path.
+"""
+
+from repro.host.platform import DfcPlatform
+from repro.host.copymodel import CopyExperimentResult, HostWriteExperiment
+
+__all__ = ["DfcPlatform", "CopyExperimentResult", "HostWriteExperiment"]

@@ -1,0 +1,31 @@
+"""The SSD landscape design space of §3 and Figure 1, as a queryable model."""
+
+from repro.landscape.model import (
+    FTL_ABSTRACTIONS,
+    FTL_PLACEMENTS,
+    SSD_MODELS,
+    FtlAbstraction,
+    FtlAccess,
+    FtlIntegration,
+    FtlPlacement,
+    FtlTransparency,
+    SsdModel,
+    figure1_grid,
+    models_in_quadrant,
+    render_figure1,
+)
+
+__all__ = [
+    "FTL_ABSTRACTIONS",
+    "FTL_PLACEMENTS",
+    "SSD_MODELS",
+    "FtlAbstraction",
+    "FtlAccess",
+    "FtlIntegration",
+    "FtlPlacement",
+    "FtlTransparency",
+    "SsdModel",
+    "figure1_grid",
+    "models_in_quadrant",
+    "render_figure1",
+]

@@ -1,0 +1,150 @@
+"""The §3 design space and the Figure 1 placement of SSD models.
+
+Dimensions (§3.1): storage chip, FTL placement, FTL integration, FTL
+transparency, FTL abstraction, FTL access.  Figure 1 organizes a dozen
+SSD models on the (abstraction x placement) grid with the remaining
+dimensions annotated; this module encodes exactly that figure so the
+taxonomy is testable and the grid reproducible
+(:func:`render_figure1`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class FtlAbstraction(enum.Enum):
+    BLOCK_DEVICE = "block-device"
+    ZNS = "zns"
+    APP_SPECIFIC = "app-specific"
+
+
+class FtlPlacement(enum.Enum):
+    HOST = "host"
+    CONTROLLER = "controller"
+
+
+class FtlIntegration(enum.Enum):
+    FIRMWARE = "embedded"
+    KERNEL = "kernel space"
+    USER_SPACE = "user space"
+
+
+class FtlTransparency(enum.Enum):
+    BLACK_BOX = "black box"
+    WHITE_BOX = "white box"
+
+
+class FtlAccess(enum.Enum):
+    HOST = "host"
+    CONTROLLER = "controller"
+
+
+@dataclass(frozen=True)
+class SsdModel:
+    """One cell entry of Figure 1."""
+
+    name: str
+    abstraction: FtlAbstraction
+    placement: FtlPlacement
+    chips: str                      # e.g. "MLC/TLC", "any", "QLC"
+    integration: FtlIntegration
+    transparency: FtlTransparency
+    access: FtlAccess
+    available: bool = True          # lighter color in the figure = not yet
+
+    def dimensions(self) -> Dict[str, str]:
+        return {
+            "abstraction": self.abstraction.value,
+            "placement": self.placement.value,
+            "chips": self.chips,
+            "integration": self.integration.value,
+            "transparency": self.transparency.value,
+            "access": self.access.value,
+        }
+
+
+FTL_ABSTRACTIONS = tuple(FtlAbstraction)
+FTL_PLACEMENTS = tuple(FtlPlacement)
+
+# The twelve models of Figure 1, row by row.
+SSD_MODELS: Tuple[SsdModel, ...] = (
+    SsdModel("Fusion-IO", FtlAbstraction.BLOCK_DEVICE, FtlPlacement.HOST,
+             "SLC/MLC", FtlIntegration.KERNEL, FtlTransparency.BLACK_BOX,
+             FtlAccess.HOST),
+    SsdModel("pblk", FtlAbstraction.BLOCK_DEVICE, FtlPlacement.HOST,
+             "MLC/TLC", FtlIntegration.KERNEL, FtlTransparency.WHITE_BOX,
+             FtlAccess.HOST),
+    SsdModel("SPDK", FtlAbstraction.BLOCK_DEVICE, FtlPlacement.HOST,
+             "MLC/TLC", FtlIntegration.USER_SPACE,
+             FtlTransparency.WHITE_BOX, FtlAccess.HOST),
+    SsdModel("LightNVM target for ZNS", FtlAbstraction.ZNS,
+             FtlPlacement.HOST, "TLC", FtlIntegration.KERNEL,
+             FtlTransparency.WHITE_BOX, FtlAccess.HOST, available=False),
+    SsdModel("RocksDB NVM engine", FtlAbstraction.APP_SPECIFIC,
+             FtlPlacement.HOST, "MLC/TLC", FtlIntegration.USER_SPACE,
+             FtlTransparency.WHITE_BOX, FtlAccess.HOST),
+    SsdModel("Traditional SSDs", FtlAbstraction.BLOCK_DEVICE,
+             FtlPlacement.CONTROLLER, "any", FtlIntegration.FIRMWARE,
+             FtlTransparency.BLACK_BOX, FtlAccess.HOST),
+    SsdModel("Smart SSD", FtlAbstraction.BLOCK_DEVICE,
+             FtlPlacement.CONTROLLER, "QLC", FtlIntegration.FIRMWARE,
+             FtlTransparency.BLACK_BOX, FtlAccess.CONTROLLER),
+    SsdModel("OX-Block", FtlAbstraction.BLOCK_DEVICE,
+             FtlPlacement.CONTROLLER, "MLC", FtlIntegration.USER_SPACE,
+             FtlTransparency.WHITE_BOX, FtlAccess.CONTROLLER),
+    SsdModel("ZNS SSD", FtlAbstraction.ZNS, FtlPlacement.CONTROLLER,
+             "any", FtlIntegration.FIRMWARE, FtlTransparency.BLACK_BOX,
+             FtlAccess.HOST, available=False),
+    SsdModel("OX-ZNS", FtlAbstraction.ZNS, FtlPlacement.CONTROLLER,
+             "TLC", FtlIntegration.USER_SPACE, FtlTransparency.WHITE_BOX,
+             FtlAccess.CONTROLLER, available=False),
+    SsdModel("KV-SSD", FtlAbstraction.APP_SPECIFIC,
+             FtlPlacement.CONTROLLER, "QLC", FtlIntegration.FIRMWARE,
+             FtlTransparency.BLACK_BOX, FtlAccess.HOST),
+    SsdModel("Pliops", FtlAbstraction.APP_SPECIFIC,
+             FtlPlacement.CONTROLLER, "TLC", FtlIntegration.USER_SPACE,
+             FtlTransparency.BLACK_BOX, FtlAccess.CONTROLLER),
+    SsdModel("OX-Eleos, LightLSM", FtlAbstraction.APP_SPECIFIC,
+             FtlPlacement.CONTROLLER, "MLC", FtlIntegration.USER_SPACE,
+             FtlTransparency.WHITE_BOX, FtlAccess.CONTROLLER),
+)
+
+
+def models_in_quadrant(abstraction: FtlAbstraction,
+                       placement: FtlPlacement) -> List[SsdModel]:
+    """All models in one cell of the Figure 1 grid."""
+    return [model for model in SSD_MODELS
+            if model.abstraction is abstraction
+            and model.placement is placement]
+
+
+def figure1_grid() -> Dict[Tuple[FtlPlacement, FtlAbstraction],
+                           List[SsdModel]]:
+    """The full grid, keyed by (placement row, abstraction column)."""
+    return {(placement, abstraction):
+            models_in_quadrant(abstraction, placement)
+            for placement in FTL_PLACEMENTS
+            for abstraction in FTL_ABSTRACTIONS}
+
+
+def render_figure1() -> str:
+    """A textual rendition of Figure 1."""
+    lines: List[str] = []
+    header = f"{'FTL placement':14s} | " + " | ".join(
+        f"{a.value:32s}" for a in FTL_ABSTRACTIONS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for placement in FTL_PLACEMENTS:
+        cells = []
+        for abstraction in FTL_ABSTRACTIONS:
+            models = models_in_quadrant(abstraction, placement)
+            names = ", ".join(
+                model.name + ("" if model.available else "*")
+                for model in models)
+            cells.append(f"{names:32s}")
+        lines.append(f"{placement.value:14s} | " + " | ".join(cells))
+    lines.append("(* = not fully available at publication time)")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""LLAMA-lite: a latch-free-style log-structured page store (substrate).
+
+The paper's OX-ELEOS FTL exists "to reduce the load on the host CPU in a
+data system based on the LLAMA storage engine" [9].  This package is the
+host-side driver: a page store with delta updates, batched flushes into
+8 MB LSS I/O buffers, and a segment cleaner — enough of LLAMA to exercise
+every OX-ELEOS code path (buffer-granularity writes, page-granularity
+reads, variable page sizes, host-driven reclamation).
+"""
+
+from repro.llama.pages import DeltaPage
+from repro.llama.engine import LlamaConfig, LlamaEngine
+
+__all__ = ["DeltaPage", "LlamaConfig", "LlamaEngine"]

@@ -1,0 +1,212 @@
+"""The LLAMA-lite engine: page cache + batched flush + segment cleaner.
+
+Write path: updates accumulate as deltas on cached pages; ``flush()``
+serializes every dirty page into one LSS I/O buffer and hands it to
+OX-ELEOS as a single batched write — the CPU-efficiency trick of [9].
+Read path: a page miss fetches exactly one (variable-sized) page through
+OX-ELEOS, whatever number of sectors that touches.
+
+Cleaning: flushing relocates pages, so old segments lose live pages over
+time; :meth:`clean_once` picks the segment with the lowest live ratio,
+re-appends its remaining live pages, and frees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import FTLError, ReproError
+from repro.llama.pages import DeltaPage
+from repro.ox.eleos import OXEleos
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Engine tunables."""
+
+    consolidate_after: int = 8     # delta-chain length triggering consolidation
+    clean_live_ratio: float = 0.5  # segments below this live fraction get cleaned
+    cache_capacity: int = 0        # cached pages kept in memory; 0 = unlimited
+
+
+@dataclass
+class LlamaStats:
+    updates: int = 0
+    reads: int = 0
+    cache_misses: int = 0
+    flushes: int = 0
+    pages_flushed: int = 0
+    consolidations: int = 0
+    segments_cleaned: int = 0
+    pages_relocated: int = 0
+
+
+class LlamaEngine:
+    """A log-structured page store over OX-ELEOS."""
+
+    def __init__(self, ftl: OXEleos, config: Optional[LlamaConfig] = None):
+        self.ftl = ftl
+        self.sim = ftl.sim
+        self.config = config or LlamaConfig()
+        self._cache: Dict[int, DeltaPage] = {}
+        # segment id -> pids written there by the flush that created it.
+        self._segment_pids: Dict[int, Set[int]] = {}
+        # pid -> segment currently holding its persistent image.
+        self._page_segment: Dict[int, int] = {}
+        self.stats = LlamaStats()
+
+    # -- write path -----------------------------------------------------------
+
+    def update(self, pid: int, delta: bytes) -> None:
+        """Append *delta* to the page's chain (in memory, no I/O)."""
+        page = self._cached_or_new(pid)
+        page.apply_delta(delta)
+        if page.chain_length >= self.config.consolidate_after:
+            page.consolidate()
+            self.stats.consolidations += 1
+        self.stats.updates += 1
+
+    def replace(self, pid: int, content: bytes) -> None:
+        """Overwrite the page's content wholesale."""
+        self._cached_or_new(pid).replace_base(content)
+        self.stats.updates += 1
+
+    def flush(self) -> Optional[int]:
+        """Persist all dirty pages in one LSS buffer; returns the segment
+        id (None if nothing was dirty)."""
+        return self.sim.run_until(self.sim.spawn(self.flush_proc()))
+
+    def flush_proc(self):
+        dirty = [page for page in self._cache.values() if page.dirty]
+        if not dirty:
+            return None
+        segment_id = None
+        batch: List[Tuple[int, bytes]] = []
+        batch_bytes = 0
+        limit = self.ftl.config.buffer_bytes
+        flushed_pids: List[int] = []
+
+        def batched_pids():
+            return [pid for pid, __ in batch]
+
+        for page in sorted(dirty, key=lambda p: p.pid):
+            blob = page.serialize()
+            if len(blob) > limit:
+                raise ReproError(
+                    f"page {page.pid} serializes to {len(blob)} bytes, "
+                    f"larger than the LSS buffer ({limit})")
+            if batch_bytes + len(blob) > limit:
+                segment_id = yield from self._emit_batch_proc(batch)
+                flushed_pids.extend(batched_pids())
+                batch, batch_bytes = [], 0
+            batch.append((page.pid, blob))
+            batch_bytes += len(blob)
+        if batch:
+            segment_id = yield from self._emit_batch_proc(batch)
+            flushed_pids.extend(batched_pids())
+        for pid in flushed_pids:
+            self._cache[pid].dirty = False
+        self.stats.flushes += 1
+        self.stats.pages_flushed += len(flushed_pids)
+        self._evict_clean_pages()
+        return segment_id
+
+    def _emit_batch_proc(self, batch: List[Tuple[int, bytes]]):
+        segment_id = yield from self.ftl.append_buffer_proc(batch)
+        pids = {pid for pid, __ in batch}
+        self._segment_pids[segment_id] = pids
+        for pid in pids:
+            self._page_segment[pid] = segment_id
+        return segment_id
+
+    # -- read path ----------------------------------------------------------------
+
+    def read(self, pid: int) -> bytes:
+        """The page's current logical content (cache, else one FTL read)."""
+        return self.sim.run_until(self.sim.spawn(self.read_proc(pid)))
+
+    def read_proc(self, pid: int):
+        self.stats.reads += 1
+        page = self._cache.get(pid)
+        if page is None:
+            self.stats.cache_misses += 1
+            blob = yield from self.ftl.read_page_proc(pid)
+            page = DeltaPage.deserialize(pid, blob)
+            self._cache[pid] = page
+        return page.materialize()
+
+    def contains(self, pid: int) -> bool:
+        return pid in self._cache or pid in self.ftl.vmap
+
+    # -- cleaning ----------------------------------------------------------------------
+
+    def segment_live_ratio(self, segment_id: int) -> float:
+        """Live pages of the segment / pages originally written to it."""
+        pids = self._segment_pids.get(segment_id)
+        if not pids:
+            return 0.0
+        total = max(1, len(pids))
+        live = sum(1 for pid in pids
+                   if self._page_segment.get(pid) == segment_id)
+        return live / total
+
+    def clean_once(self) -> Optional[int]:
+        """Clean the coldest segment below the live-ratio threshold;
+        returns the freed segment id (None if nothing qualified)."""
+        return self.sim.run_until(self.sim.spawn(self.clean_once_proc()))
+
+    def clean_once_proc(self):
+        candidates = [(self.segment_live_ratio(seg), seg)
+                      for seg in self.ftl.segments
+                      if seg in self._segment_pids]
+        candidates = [(ratio, seg) for ratio, seg in candidates
+                      if ratio <= self.config.clean_live_ratio]
+        if not candidates:
+            return None
+        __, segment_id = min(candidates)
+        live_pids = [pid for pid in self._segment_pids.get(segment_id, ())
+                     if self._page_segment.get(pid) == segment_id]
+        if live_pids:
+            batch: List[Tuple[int, bytes]] = []
+            for pid in sorted(live_pids):
+                cached = self._cache.get(pid)
+                if cached is not None:
+                    blob = cached.serialize()
+                else:
+                    blob = yield from self.ftl.read_page_proc(pid)
+                batch.append((pid, blob))
+                self.stats.pages_relocated += 1
+            yield from self._emit_batch_proc(batch)
+        try:
+            yield from self.ftl.free_segment_proc(segment_id)
+        except FTLError:
+            # A page moved into the segment between selection and free
+            # (possible with concurrent flushes): skip this round.
+            return None
+        self._segment_pids.pop(segment_id, None)
+        self.stats.segments_cleaned += 1
+        return segment_id
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _cached_or_new(self, pid: int) -> DeltaPage:
+        page = self._cache.get(pid)
+        if page is None:
+            if pid in self.ftl.vmap:
+                blob = self.ftl.read_page(pid)
+                page = DeltaPage.deserialize(pid, blob)
+            else:
+                page = DeltaPage(pid=pid)
+            self._cache[pid] = page
+        return page
+
+    def _evict_clean_pages(self) -> None:
+        capacity = self.config.cache_capacity
+        if not capacity or len(self._cache) <= capacity:
+            return
+        evictable = [pid for pid, page in self._cache.items()
+                     if not page.dirty]
+        excess = len(self._cache) - capacity
+        for pid in evictable[:excess]:
+            del self._cache[pid]

@@ -1,0 +1,92 @@
+"""Bloom filters for SSTable point lookups.
+
+"Each random read might traverse several SSTables, depending on the
+performance of bloom filters" (§4.3) — read-random throughput hinges on
+these.  Double hashing over two independent 64-bit hashes, as in RocksDB's
+full filters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+_U64 = struct.Struct("<QQ")
+_HEADER = struct.Struct("<IQ")   # num_hashes, num_bits
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return _U64.unpack(digest)
+
+
+def hash_key(key: bytes) -> tuple[int, int]:
+    """The (h1, h2) pair used for double hashing; builders collect these
+    so the filter can be sized from the *actual* key count at finish."""
+    return _hash_pair(key)
+
+
+def build_from_hashes(hashes: list[tuple[int, int]],
+                      bits_per_key: int = 10) -> "BloomFilter":
+    """Construct a right-sized filter from pre-computed hash pairs."""
+    bloom = BloomFilter.for_keys(max(1, len(hashes)), bits_per_key)
+    for h1, h2 in hashes:
+        bloom.add_hash(h1, h2)
+    return bloom
+
+
+class BloomFilter:
+    """A fixed-size bloom filter with k probes by double hashing."""
+
+    def __init__(self, num_bits: int, num_hashes: int):
+        if num_bits < 8:
+            raise ValueError(f"num_bits must be >= 8, got {num_bits}")
+        if not 1 <= num_hashes <= 16:
+            raise ValueError(f"num_hashes must be in [1, 16], got {num_hashes}")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+
+    @classmethod
+    def for_keys(cls, expected_keys: int,
+                 bits_per_key: int = 10) -> "BloomFilter":
+        """RocksDB-style sizing: ~10 bits/key, k ~= 0.69 * bits/key."""
+        num_bits = max(64, expected_keys * bits_per_key)
+        num_hashes = max(1, min(16, int(bits_per_key * 0.69)))
+        return cls(num_bits, num_hashes)
+
+    def add(self, key: bytes) -> None:
+        self.add_hash(*_hash_pair(key))
+
+    def add_hash(self, h1: int, h2: int) -> None:
+        """Insert a pre-computed hash pair (see :func:`hash_key`)."""
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def add_all(self, keys: Iterable[bytes]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def may_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means probably present."""
+        h1, h2 = _hash_pair(key)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    # -- serialization ------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        return _HEADER.pack(self.num_hashes, self.num_bits) + bytes(self._bits)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "BloomFilter":
+        num_hashes, num_bits = _HEADER.unpack_from(blob, 0)
+        bloom = cls(num_bits, num_hashes)
+        bits = blob[_HEADER.size:_HEADER.size + len(bloom._bits)]
+        bloom._bits = bytearray(bits)
+        return bloom

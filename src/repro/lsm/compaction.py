@@ -1,0 +1,176 @@
+"""Compaction: cursors, k-way merge, and the level-picking policy.
+
+Leveled compaction in the RocksDB style: L0 holds whole memtable flushes
+(overlapping key ranges, newest first); deeper levels are sorted runs of
+non-overlapping tables.  When L0 reaches its trigger, all of L0 merges
+with the overlapping part of L1; when a deeper level exceeds its size
+budget, one table merges down.  In LightLSM "garbage collection is a
+side-effect of compaction" (§4.3): deleting the input SSTables is pure
+chunk erasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lsm.memtable import TOMBSTONE, _Tombstone
+from repro.lsm.sstable import SSTableMeta, iter_block
+
+
+@dataclass
+class TableRef:
+    """An SSTable as the DB tracks it: handle + parsed meta + refcount."""
+
+    handle: object            # SSTableHandle
+    meta: SSTableMeta
+    refs: int = 0
+    obsolete: bool = False
+
+
+class TableCursor:
+    """Streams one SSTable's entries in key order, with one-block
+    readahead so sequential scans overlap I/O with consumption."""
+
+    def __init__(self, env, table: TableRef, block_size: int, sim,
+                 readahead: bool = True):
+        self.env = env
+        self.table = table
+        self.block_size = block_size
+        self.sim = sim
+        self.readahead = readahead
+        self._block_index = 0
+        self._entries: Optional[Iterator] = None
+        self._prefetch = None     # Process reading the next block
+        self.current: Optional[Tuple[bytes, object]] = None
+
+    def open_proc(self):
+        yield from self._load_block_proc()
+        yield from self.advance_proc()
+
+    def advance_proc(self):
+        """Move to the next entry (None at end-of-table)."""
+        while True:
+            if self._entries is not None:
+                try:
+                    self.current = next(self._entries)
+                    return self.current
+                except StopIteration:
+                    self._entries = None
+            if self._block_index >= self.table.meta.num_blocks:
+                self.current = None
+                return None
+            yield from self._load_block_proc()
+
+    def _load_block_proc(self):
+        if self._block_index >= self.table.meta.num_blocks:
+            return
+        if self._prefetch is not None:
+            block = yield self._prefetch
+            self._prefetch = None
+        else:
+            block = yield from self.env.read_block_proc(
+                self.table.handle, self._block_index, self.block_size)
+        self._entries = iter_block(block)
+        self._block_index += 1
+        if self.readahead and self._block_index < self.table.meta.num_blocks:
+            self._prefetch = self.sim.spawn(
+                self.env.read_block_proc(self.table.handle,
+                                         self._block_index,
+                                         self.block_size),
+                name="readahead")
+
+
+class MemCursor:
+    """Cursor over an in-memory sorted item list (memtable snapshots)."""
+
+    def __init__(self, items: List[Tuple[bytes, object]]):
+        self._items = items
+        self._index = 0
+        self.current: Optional[Tuple[bytes, object]] = None
+
+    def open_proc(self):
+        return self.advance_proc()
+
+    def advance_proc(self):
+        if self._index < len(self._items):
+            self.current = self._items[self._index]
+            self._index += 1
+        else:
+            self.current = None
+        return self.current
+        yield  # pragma: no cover - generator marker
+
+
+def merge_into_proc(cursors: List, sink, drop_tombstones: bool):
+    """Process generator: k-way merge of *cursors* (newest first) into
+    ``sink(key, value)``, which may itself be a process generator factory
+    (``yield from sink(key, value)``).
+
+    Returns the number of entries emitted.
+    """
+    for cursor in cursors:
+        yield from cursor.open_proc()
+    emitted = 0
+    while True:
+        best_key = None
+        for cursor in cursors:
+            if cursor.current is not None:
+                key = cursor.current[0]
+                if best_key is None or key < best_key:
+                    best_key = key
+        if best_key is None:
+            return emitted
+        chosen_value = None
+        seen = False
+        for cursor in cursors:
+            if cursor.current is not None and cursor.current[0] == best_key:
+                if not seen:
+                    chosen_value = cursor.current[1]
+                    seen = True
+                yield from cursor.advance_proc()
+        if drop_tombstones and isinstance(chosen_value, _Tombstone):
+            continue
+        yield from sink(best_key, chosen_value)
+        emitted += 1
+
+
+@dataclass
+class CompactionPick:
+    """What to compact: inputs (newest first) and the target level."""
+
+    inputs: List[TableRef]
+    target_level: int
+    reason: str
+
+
+def level_max_tables(level: int, multiplier: int) -> int:
+    """Size budget of a level, in tables: L1 holds `multiplier`, L2
+    `multiplier**2`, ..."""
+    return multiplier ** level
+
+
+def pick_compaction(levels: List[List[TableRef]], l0_trigger: int,
+                    multiplier: int) -> Optional[CompactionPick]:
+    """RocksDB-style priority: L0 first, then the most oversized level."""
+    if len(levels[0]) >= l0_trigger:
+        inputs = list(levels[0])                      # newest first already
+        first = min(t.meta.first_key for t in inputs if t.meta.first_keys)
+        last = max(t.meta.last_key for t in inputs if t.meta.first_keys)
+        if len(levels) > 1:
+            overlapping = [t for t in levels[1]
+                           if t.meta.overlaps(first, last)]
+        else:
+            overlapping = []
+        return CompactionPick(inputs=inputs + overlapping, target_level=1,
+                              reason="l0")
+    for level in range(1, len(levels) - 1):
+        if len(levels[level]) > level_max_tables(level, multiplier):
+            victim = levels[level][0]                 # oldest range first
+            overlapping = [t for t in levels[level + 1]
+                           if t.meta.overlaps(victim.meta.first_key,
+                                              victim.meta.last_key)]
+            return CompactionPick(inputs=[victim] + overlapping,
+                                  target_level=level + 1,
+                                  reason=f"l{level}-size")
+    return None

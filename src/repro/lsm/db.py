@@ -1,0 +1,502 @@
+"""RocksDB-lite: the LSM engine tying memtable, SSTables, flush and
+compaction together over a pluggable storage Env.
+
+Matches the paper's evaluation configuration: no compression, no block
+cache ("without any compression or caching enabled to put more stress on
+SSD accesses"), leveled compaction ending up with "3 levels of SSTables
+on disk (L0, L1, L2)".  Write stalls and the background-I/O rate limiter
+produce the throughput fluctuation the paper attributes to "throttling
+due to RocksDB rate limiter" (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.lsm.compaction import (
+    MemCursor,
+    TableCursor,
+    TableRef,
+    merge_into_proc,
+    pick_compaction,
+)
+from repro.lsm.env import StorageEnv
+from repro.lsm.memtable import TOMBSTONE, MemTable, _Tombstone
+from repro.lsm.ratelimiter import RateLimiter
+from repro.lsm.sstable import SSTableBuilder, SSTableMeta, search_block
+from repro.sim.core import Interrupt, Simulator
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class DBConfig:
+    """Engine tunables (RocksDB option names where they exist)."""
+
+    block_size: int = 96 * KIB          # must suit the env's write unit
+    write_buffer_bytes: int = 2 * MIB   # memtable flush threshold
+    sstable_data_bytes: int = 0         # 0 = derive from env/write buffer
+    l0_compaction_trigger: int = 4
+    l0_slowdown_trigger: int = 6
+    l0_stop_trigger: int = 10
+    level_size_multiplier: int = 4
+    max_levels: int = 4
+    bits_per_key: int = 10
+    put_cpu: float = 2e-6               # CPU cost per put
+    get_cpu: float = 2e-6               # CPU cost per point lookup
+    scan_cpu: float = 15e-6             # CPU cost per iterator step (merge
+                                        # + value copy, no block cache)
+    slowdown_delay: float = 1e-3        # extra latency per put in slowdown
+    rate_limit_bytes_per_sec: Optional[float] = None
+    readahead: bool = True              # iterator/compaction block prefetch
+
+
+@dataclass
+class DBStats:
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    stall_seconds: float = 0.0
+    slowdown_puts: int = 0
+    tables_written: int = 0
+    blocks_read: int = 0
+
+
+class DB:
+    """An LSM key-value store over a :class:`StorageEnv`."""
+
+    def __init__(self, env: StorageEnv, config: DBConfig, sim: Simulator):
+        if config.block_size % max(1, env.min_block_size):
+            raise ReproError(
+                f"block_size {config.block_size} incompatible with the "
+                f"env's minimum write unit {env.min_block_size}")
+        self.env = env
+        self.config = config
+        self.sim = sim
+        self.memtable = MemTable()
+        self.immutable: Optional[List[Tuple[bytes, object]]] = None
+        self.levels: List[List[TableRef]] = [
+            [] for __ in range(config.max_levels)]
+        self.limiter = RateLimiter(sim, config.rate_limit_bytes_per_sec)
+        self.stats = DBStats()
+        self._next_sstable_id = 1
+        self._alive = True
+        self._flush_wanted = sim.event()
+        self._compact_wanted = sim.event()
+        self._write_ok = sim.event()
+        self._write_ok.succeed()
+        self._flush_idle = True
+        self._compacting = False
+        self._pending_deletes = 0
+        self._daemons = [
+            sim.spawn(self._flush_daemon(), name="lsm-flush"),
+            sim.spawn(self._compaction_daemon(), name="lsm-compact"),
+        ]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @classmethod
+    def open(cls, env: StorageEnv, config: DBConfig,
+             sim: Simulator) -> "DB":
+        """Open a DB, recovering any SSTables the env still holds."""
+        db = cls(env, config, sim)
+        tables = sim.run_until(sim.spawn(env.list_tables_proc()))
+        for handle, meta_blob in tables:
+            meta = SSTableMeta.deserialize(meta_blob)
+            if hasattr(env, "set_block_sectors"):
+                env.set_block_sectors(handle, meta.block_size)
+            level = min(handle.level, config.max_levels - 1)
+            db.levels[level].append(TableRef(handle=handle, meta=meta))
+        for level_tables in db.levels:
+            level_tables.sort(key=lambda t: -t.meta.sequence)
+        for level in range(1, config.max_levels):
+            db.levels[level].sort(key=lambda t: t.meta.first_key)
+        return db
+
+    def close(self) -> None:
+        """Flush the memtable and stop background work."""
+        self.flush()
+        self._alive = False
+        for daemon in self._daemons:
+            daemon.interrupt("close")
+
+    @property
+    def sstable_data_bytes(self) -> int:
+        if self.config.sstable_data_bytes:
+            return self.config.sstable_data_bytes
+        if self.env.max_table_bytes:
+            return self.env.max_table_bytes
+        return 2 * self.config.write_buffer_bytes
+
+    # -- synchronous API -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.sim.run_until(self.sim.spawn(self.put_proc(key, value)))
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.sim.run_until(self.sim.spawn(self.get_proc(key)))
+
+    def delete(self, key: bytes) -> None:
+        self.sim.run_until(self.sim.spawn(self.delete_proc(key)))
+
+    def flush(self) -> None:
+        self.sim.run_until(self.sim.spawn(self.flush_proc()))
+
+    def scan(self, limit: int = 0,
+             on_entry: Optional[Callable] = None) -> int:
+        return self.sim.run_until(self.sim.spawn(
+            self.scan_proc(limit, on_entry)))
+
+    # -- write path --------------------------------------------------------------------
+
+    def put_proc(self, key: bytes, value: bytes):
+        yield from self._write_gate_proc()
+        if self.config.put_cpu:
+            yield self.sim.timeout(self.config.put_cpu)
+        self.memtable.put(key, value)
+        self.stats.puts += 1
+        self._maybe_rotate_memtable()
+
+    def delete_proc(self, key: bytes):
+        yield from self._write_gate_proc()
+        if self.config.put_cpu:
+            yield self.sim.timeout(self.config.put_cpu)
+        self.memtable.delete(key)
+        self.stats.deletes += 1
+        self._maybe_rotate_memtable()
+
+    def flush_proc(self):
+        """Force the memtable to disk and wait for it."""
+        if len(self.memtable) == 0 and self.immutable is None:
+            return
+        if self.immutable is None:
+            self._rotate_memtable()
+        while self.immutable is not None or not self._flush_idle:
+            yield self.sim.timeout(1e-4)
+
+    def _write_gate_proc(self):
+        """RocksDB write controller: stop writes entirely when L0 is
+        overwhelmed or a memtable switch is pending; slow them down when
+        L0 approaches the trigger."""
+        while True:
+            stalled = (self.immutable is not None
+                       and self.memtable.approximate_bytes
+                       >= self.config.write_buffer_bytes) \
+                or len(self.levels[0]) >= self.config.l0_stop_trigger
+            if not stalled:
+                break
+            started = self.sim.now
+            gate = self._write_ok
+            if gate.triggered:
+                gate = self.sim.event()
+                self._write_ok = gate
+            yield gate
+            self.stats.stall_seconds += self.sim.now - started
+        if len(self.levels[0]) >= self.config.l0_slowdown_trigger:
+            self.stats.slowdown_puts += 1
+            yield self.sim.timeout(self.config.slowdown_delay)
+
+    def _open_write_gate(self) -> None:
+        if not self._write_ok.triggered:
+            self._write_ok.succeed()
+
+    def _maybe_rotate_memtable(self) -> None:
+        if (self.memtable.approximate_bytes >= self.config.write_buffer_bytes
+                and self.immutable is None):
+            self._rotate_memtable()
+
+    def _rotate_memtable(self) -> None:
+        self.immutable = list(self.memtable.items_sorted())
+        self.memtable = MemTable()
+        if not self._flush_wanted.triggered:
+            self._flush_wanted.succeed()
+
+    # -- read path ---------------------------------------------------------------------
+
+    def get_proc(self, key: bytes):
+        self.stats.gets += 1
+        if self.config.get_cpu:
+            yield self.sim.timeout(self.config.get_cpu)
+        value = self.memtable.get(key)
+        if value is None and self.immutable is not None:
+            import bisect
+            items = self.immutable
+            index = bisect.bisect_left(items, (key, ))
+            if index < len(items) and items[index][0] == key:
+                value = items[index][1]
+        if value is not None:
+            return None if isinstance(value, _Tombstone) else value
+        # L0: newest table first; deeper levels: at most one candidate.
+        for level, tables in enumerate(self.levels):
+            candidates = tables if level == 0 else [
+                t for t in tables if t.meta.covers(key)]
+            for table in candidates:
+                value = yield from self._table_get_proc(table, key)
+                if value is not None:
+                    return None if isinstance(value, _Tombstone) else value
+        return None
+
+    def _table_get_proc(self, table: TableRef, key: bytes):
+        block_index = table.meta.locate(key)
+        if block_index is None:
+            return None
+        table.refs += 1
+        try:
+            block = yield from self.env.read_block_proc(
+                table.handle, block_index, self.config.block_size)
+            self.stats.blocks_read += 1
+        finally:
+            self._release(table)
+        return search_block(block, key)
+
+    def scan_proc(self, limit: int = 0,
+                  on_entry: Optional[Callable] = None):
+        """Full-order scan (db_bench read-sequential): a k-way merge over
+        the memtable and every table, streaming blocks with readahead."""
+        snapshot: List[TableRef] = []
+        cursors = [MemCursor(list(self.memtable.items_sorted()))]
+        if self.immutable is not None:
+            cursors.append(MemCursor(list(self.immutable)))
+        for level, tables in enumerate(self.levels):
+            for table in tables:
+                table.refs += 1
+                snapshot.append(table)
+                cursors.append(TableCursor(
+                    self.env, table, self.config.block_size, self.sim,
+                    readahead=self.config.readahead))
+        count = 0
+
+        def sink(key, value):
+            nonlocal count
+            count += 1
+            if on_entry is not None:
+                on_entry(key, value)
+            if self.config.scan_cpu:
+                yield self.sim.timeout(self.config.scan_cpu)
+
+        try:
+            if limit:
+                yield from self._merge_limited_proc(cursors, sink, limit)
+            else:
+                yield from merge_into_proc(cursors, sink,
+                                           drop_tombstones=True)
+        finally:
+            for table in snapshot:
+                self._release(table)
+        return count
+
+    def _merge_limited_proc(self, cursors, sink, limit: int):
+        emitted = 0
+
+        def counting_sink(key, value):
+            nonlocal emitted
+            emitted += 1
+            yield from sink(key, value)
+
+        for cursor in cursors:
+            yield from cursor.open_proc()
+        while emitted < limit:
+            best_key = None
+            for cursor in cursors:
+                if cursor.current is not None:
+                    key = cursor.current[0]
+                    if best_key is None or key < best_key:
+                        best_key = key
+            if best_key is None:
+                return
+            chosen = None
+            seen = False
+            for cursor in cursors:
+                if cursor.current is not None \
+                        and cursor.current[0] == best_key:
+                    if not seen:
+                        chosen = cursor.current[1]
+                        seen = True
+                    yield from cursor.advance_proc()
+            if isinstance(chosen, _Tombstone):
+                continue
+            yield from counting_sink(best_key, chosen)
+
+    # -- background: flush ------------------------------------------------------------
+
+    def _flush_daemon(self):
+        try:
+            while self._alive:
+                if self.immutable is None:
+                    yield self._flush_wanted
+                    self._flush_wanted = self.sim.event()
+                    continue
+                self._flush_idle = False
+                items = self.immutable
+                cursor = MemCursor(items)
+                yield from self._write_tables_proc([cursor], level=0,
+                                                   drop_tombstones=False)
+                self.immutable = None
+                self._flush_idle = True
+                self.stats.flushes += 1
+                self._open_write_gate()
+                self._poke_compaction()
+        except Interrupt:
+            return
+
+    # -- background: compaction ----------------------------------------------------------
+
+    def _poke_compaction(self) -> None:
+        if pick_compaction(self.levels, self.config.l0_compaction_trigger,
+                           self.config.level_size_multiplier) is not None:
+            if not self._compact_wanted.triggered:
+                self._compact_wanted.succeed()
+
+    def _compaction_daemon(self):
+        try:
+            while self._alive:
+                pick = pick_compaction(
+                    self.levels, self.config.l0_compaction_trigger,
+                    self.config.level_size_multiplier)
+                if pick is None:
+                    yield self._compact_wanted
+                    self._compact_wanted = self.sim.event()
+                    continue
+                self._compacting = True
+                try:
+                    yield from self._run_compaction_proc(pick)
+                finally:
+                    self._compacting = False
+                self.stats.compactions += 1
+                self._open_write_gate()
+        except Interrupt:
+            return
+
+    def _run_compaction_proc(self, pick):
+        for table in pick.inputs:
+            table.refs += 1
+        cursors = [TableCursor(self.env, table, self.config.block_size,
+                               self.sim, readahead=self.config.readahead)
+                   for table in pick.inputs]
+        # Drop tombstones when nothing below the target level can hold an
+        # older value for the key.
+        deeper_occupied = any(self.levels[level]
+                              for level in range(pick.target_level + 1,
+                                                 self.config.max_levels))
+        outputs = yield from self._write_tables_proc(
+            cursors, level=pick.target_level,
+            drop_tombstones=not deeper_occupied)
+        # Install the new version: remove inputs, outputs are already in.
+        input_set = {id(t) for t in pick.inputs}
+        for level in range(self.config.max_levels):
+            self.levels[level] = [t for t in self.levels[level]
+                                  if id(t) not in input_set]
+        for table in pick.inputs:
+            table.obsolete = True
+            self.env.log_version_edit(("del", table.handle.sstable_id,
+                                       table.handle.level))
+            self._release(table)
+
+    # -- table writing (shared by flush and compaction) ------------------------------------
+
+    def _write_tables_proc(self, cursors, level: int,
+                           drop_tombstones: bool):
+        """Merge *cursors* into one or more new SSTables at *level*."""
+        outputs: List[TableRef] = []
+        state = {"builder": None, "writer": None, "bytes": 0}
+        target_bytes = self.sstable_data_bytes
+
+        def start_table_proc():
+            sstable_id = self._next_sstable_id
+            self._next_sstable_id += 1
+            writer = yield from self.env.create_writer_proc(
+                sstable_id, level, self.config.block_size)
+            expected = max(16, target_bytes // 64)
+            builder = SSTableBuilder(
+                sstable_id, sequence=sstable_id,
+                block_size=self.config.block_size,
+                expected_keys=expected,
+                bits_per_key=self.config.bits_per_key)
+            state["builder"] = builder
+            state["writer"] = writer
+            state["bytes"] = 0
+
+        def finish_table_proc():
+            builder = state["builder"]
+            writer = state["writer"]
+            if builder is None:
+                return
+            final_block, meta = builder.finish()
+            if final_block is not None:
+                yield from self.limiter.acquire_proc(len(final_block))
+                yield from writer.append_block_proc(final_block)
+            if builder.entry_count == 0:
+                yield from writer.abort_proc()
+            else:
+                handle = yield from writer.finish_proc(meta.serialize())
+                table = TableRef(handle=handle, meta=meta)
+                self._install_table(table, level)
+                outputs.append(table)
+                self.stats.tables_written += 1
+            state["builder"] = None
+            state["writer"] = None
+
+        def sink(key, value):
+            if state["builder"] is None:
+                yield from start_table_proc()
+            block = state["builder"].add(key, value)
+            if block is not None:
+                yield from self.limiter.acquire_proc(len(block))
+                yield from state["writer"].append_block_proc(block)
+            entry_bytes = len(key) + (len(value)
+                                      if isinstance(value, bytes) else 0)
+            state["bytes"] += entry_bytes
+            if state["bytes"] >= target_bytes:
+                yield from finish_table_proc()
+
+        yield from merge_into_proc(cursors, sink, drop_tombstones)
+        yield from finish_table_proc()
+        return outputs
+
+    def _install_table(self, table: TableRef, level: int) -> None:
+        self.env.log_version_edit(("add", table.handle.sstable_id, level))
+        if level == 0:
+            self.levels[0].insert(0, table)   # newest first
+        else:
+            self.levels[level].append(table)
+            self.levels[level].sort(key=lambda t: t.meta.first_key)
+
+    # -- table lifetime -----------------------------------------------------------------
+
+    def _release(self, table: TableRef) -> None:
+        table.refs -= 1
+        if table.obsolete and table.refs == 0:
+            self._pending_deletes += 1
+
+            def delete_and_count():
+                try:
+                    yield from self.env.delete_table_proc(table.handle)
+                finally:
+                    self._pending_deletes -= 1
+
+            self.sim.spawn(delete_and_count(), name="table-delete")
+
+    # -- introspection -------------------------------------------------------------------
+
+    def wait_idle(self, poll: float = 0.01) -> None:
+        """Run the simulation until flush and compaction have settled."""
+        while True:
+            self.sim.run(until=self.sim.now + poll)
+            pending = pick_compaction(self.levels,
+                                      self.config.l0_compaction_trigger,
+                                      self.config.level_size_multiplier)
+            busy = (self.immutable is not None or not self._flush_idle
+                    or self._compacting or pending is not None
+                    or self._pending_deletes > 0)
+            if not busy:
+                return
+
+    def level_sizes(self) -> List[int]:
+        return [len(tables) for tables in self.levels]
+
+    def total_entries_on_disk(self) -> int:
+        return sum(t.meta.entry_count
+                   for tables in self.levels for t in tables)

@@ -1,0 +1,66 @@
+"""The memtable: the in-memory write stage of the LSM tree.
+
+A plain dict plus size accounting; iteration sorts on demand (flush is
+rare relative to inserts, so sort-at-flush beats a skiplist in Python).
+Deletes insert :data:`TOMBSTONE`, which flows through SSTables until
+compaction to the last level drops it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+Value = object  # bytes | _Tombstone
+
+
+class MemTable:
+    """Sorted-on-demand in-memory key/value stage."""
+
+    def __init__(self):
+        self._entries: Dict[bytes, Value] = {}
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def approximate_bytes(self) -> int:
+        return self._bytes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._account(key, value)
+        self._entries[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._account(key, b"")
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: bytes) -> Optional[Value]:
+        """The value, TOMBSTONE if deleted here, or None if absent."""
+        return self._entries.get(key)
+
+    def items_sorted(self) -> Iterator[Tuple[bytes, Value]]:
+        """All entries in key order (for flushing)."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def _account(self, key: bytes, value: bytes) -> None:
+        # RocksDB arena semantics: every insert consumes memtable space,
+        # including overwrites of a key already present (each write is a
+        # new sequenced entry in the skiplist).  Only the newest version
+        # per key survives the flush, but the *flush trigger* tracks the
+        # cumulative insert volume — which is what makes N clients writing
+        # the same key sequence generate N times the flush pressure.
+        self._bytes += len(key) + len(value) + 16   # 16 B node overhead

@@ -1,0 +1,35 @@
+"""NAND flash substrate: cells, chips, timing, wear.
+
+This package models the physical storage space of §2.1 of the paper:
+channels of chips, chips of planes, planes of blocks, blocks of pages,
+pages of sectors — with the cell-density dimension (SLC/MLC/TLC/QLC) that
+drives paired pages and the unit-of-write arithmetic the paper builds its
+argument on.
+"""
+
+from repro.nand.celltype import (
+    CellType,
+    paired_pages,
+    unit_of_write_bytes,
+    unit_of_write_pages,
+    unit_of_write_sectors,
+)
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming, timing_for
+from repro.nand.chip import BlockState, FlashBlock, FlashChip
+from repro.nand.errors import WearModel
+
+__all__ = [
+    "CellType",
+    "paired_pages",
+    "unit_of_write_bytes",
+    "unit_of_write_pages",
+    "unit_of_write_sectors",
+    "FlashGeometry",
+    "NandTiming",
+    "timing_for",
+    "BlockState",
+    "FlashBlock",
+    "FlashChip",
+    "WearModel",
+]

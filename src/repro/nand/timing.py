@@ -1,0 +1,68 @@
+"""NAND operation latencies per cell type, plus bus-transfer timing.
+
+Values are representative figures from vendor datasheets and the LightNVM
+literature; what matters for the reproduction is the *ordering* (SLC fast,
+QLC slow; reads ≪ programs ≪ erases) and the read/program asymmetry that —
+combined with the controller's write-back cache — produces the write ≫ read
+throughput gap of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nand.celltype import CellType
+from repro.units import MIB, US
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latencies of a flash chip and its channel.
+
+    ``channel_bandwidth`` is the per-channel bus throughput in bytes/second
+    used to compute data transfer time between controller and chip.
+    """
+
+    read_latency: float
+    program_latency: float
+    erase_latency: float
+    channel_bandwidth: float = 400 * MIB
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Bus time to move *num_bytes* over the channel."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer size: {num_bytes}")
+        return num_bytes / self.channel_bandwidth
+
+    def read_time(self, pages: int = 1) -> float:
+        """Media time to sense *pages* pages.
+
+        Multi-plane reads at the same page address proceed in parallel, so
+        callers pass the number of *sequential* page senses.
+        """
+        return self.read_latency * pages
+
+    def program_time(self, page_groups: int = 1) -> float:
+        """Media time to program *page_groups* multi-plane page groups."""
+        return self.program_latency * page_groups
+
+    def erase_time(self) -> float:
+        """Media time for a (multi-plane) block erase."""
+        return self.erase_latency
+
+
+_PRESETS = {
+    CellType.SLC: NandTiming(read_latency=25 * US, program_latency=200 * US,
+                             erase_latency=1500 * US),
+    CellType.MLC: NandTiming(read_latency=50 * US, program_latency=600 * US,
+                             erase_latency=3000 * US),
+    CellType.TLC: NandTiming(read_latency=75 * US, program_latency=900 * US,
+                             erase_latency=3500 * US),
+    CellType.QLC: NandTiming(read_latency=120 * US, program_latency=2000 * US,
+                             erase_latency=4000 * US),
+}
+
+
+def timing_for(cell: CellType) -> NandTiming:
+    """The preset timing profile for *cell*."""
+    return _PRESETS[cell]

@@ -1,0 +1,38 @@
+"""Physical page addresses (PPA) in the OCSSD 2.0 hierarchy.
+
+An address names a sector as ``(group, pu, chunk, sector)``:
+
+* ``group`` — unit of I/O isolation (one channel per group here),
+* ``pu`` — parallel unit (a chip) within the group,
+* ``chunk`` — sequential-write unit within the PU,
+* ``sector`` — logical block (4 KB by default) within the chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Ppa:
+    """A physical sector address on the Open-Channel SSD."""
+
+    group: int
+    pu: int
+    chunk: int
+    sector: int
+
+    def chunk_address(self) -> "Ppa":
+        """The address of the containing chunk (sector zeroed)."""
+        return Ppa(self.group, self.pu, self.chunk, 0)
+
+    def chunk_key(self) -> tuple[int, int, int]:
+        """Hashable identity of the containing chunk."""
+        return (self.group, self.pu, self.chunk)
+
+    def with_sector(self, sector: int) -> "Ppa":
+        return Ppa(self.group, self.pu, self.chunk, sector)
+
+    def __str__(self) -> str:
+        return (f"ppa(g{self.group} pu{self.pu} "
+                f"chk{self.chunk} sec{self.sector})")

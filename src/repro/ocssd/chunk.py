@@ -1,0 +1,177 @@
+"""The chunk state machine and per-chunk data store.
+
+A chunk is the OCSSD unit of sequential write (§2.2): logical blocks are
+written strictly at the write pointer, and the chunk must be reset before
+it can be rewritten.  States follow the OCSSD 2.0 chunk descriptor:
+
+* ``FREE``    — reset, write pointer at 0;
+* ``OPEN``    — partially written;
+* ``CLOSED``  — fully written;
+* ``OFFLINE`` — retired after a media failure.
+
+The chunk additionally distinguishes the *admitted* write pointer (sectors
+accepted by the controller, possibly still in the write-back cache) from
+the *flushed* write pointer (sectors actually programmed to NAND).  A
+power/controller crash rolls the chunk back to its flushed pointer, which
+is what makes the FTL's write-ahead-log durability guarantees testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ChunkStateError, WritePointerError, WriteUnitError
+from repro.ocssd.address import Ppa
+
+import enum
+
+
+class ChunkState(enum.Enum):
+    FREE = "free"
+    OPEN = "open"
+    CLOSED = "closed"
+    OFFLINE = "offline"
+
+
+class Chunk:
+    """State, write pointers and sector payloads of one chunk."""
+
+    __slots__ = ("address", "capacity", "ws_min", "state", "write_pointer",
+                 "flushed_pointer", "wear_index", "_data", "_oob")
+
+    def __init__(self, address: Ppa, capacity: int, ws_min: int):
+        self.address = address.chunk_address()
+        self.capacity = capacity
+        self.ws_min = ws_min
+        self.state = ChunkState.FREE
+        self.write_pointer = 0
+        self.flushed_pointer = 0
+        self.wear_index = 0          # erase cycles seen by this chunk
+        # Payloads and out-of-band metadata are allocated on first write so
+        # a large device with mostly-untouched chunks stays cheap.  OOB
+        # mirrors real flash: per-sector metadata FTL recovery scans read.
+        self._data: Optional[List[Optional[bytes]]] = None
+        self._oob: Optional[List[Optional[object]]] = None
+
+    # -- write path -----------------------------------------------------------
+
+    def admit_write(self, sector: int, payloads: List[Optional[bytes]],
+                    oobs: Optional[List[object]] = None) -> None:
+        """Accept a sequential write of ``len(payloads)`` sectors at *sector*.
+
+        Enforces the three §2.2 write rules: chunk must be writable, the
+        write must land exactly on the write pointer, and its size must be a
+        whole number of ``ws_min`` units.
+        """
+        count = len(payloads)
+        if self.state is ChunkState.OFFLINE:
+            raise ChunkStateError(f"write to offline chunk {self.address}")
+        if self.state is ChunkState.CLOSED:
+            raise ChunkStateError(f"write to closed chunk {self.address}")
+        if sector != self.write_pointer:
+            raise WritePointerError(
+                f"write at sector {sector} of {self.address}, "
+                f"write pointer is {self.write_pointer}")
+        if count <= 0 or count % self.ws_min:
+            raise WriteUnitError(
+                f"write of {count} sectors violates ws_min={self.ws_min}")
+        if self.write_pointer + count > self.capacity:
+            raise WritePointerError(
+                f"write of {count} sectors overflows chunk {self.address} "
+                f"(wp={self.write_pointer}, capacity={self.capacity})")
+        if oobs is not None and len(oobs) != count:
+            raise WriteUnitError(
+                f"write of {count} sectors with {len(oobs)} OOB entries")
+        self._ensure_storage()
+        self._data[sector:sector + count] = payloads
+        if oobs is not None:
+            self._oob[sector:sector + count] = oobs
+        self.write_pointer += count
+        self.state = (ChunkState.CLOSED
+                      if self.write_pointer == self.capacity
+                      else ChunkState.OPEN)
+
+    def mark_flushed(self, up_to: int) -> None:
+        """Record that sectors below *up_to* have reached NAND."""
+        if up_to < self.flushed_pointer or up_to > self.write_pointer:
+            raise WritePointerError(
+                f"flush pointer {up_to} outside "
+                f"[{self.flushed_pointer}, {self.write_pointer}] "
+                f"of {self.address}")
+        self.flushed_pointer = up_to
+
+    def _ensure_storage(self) -> None:
+        if self._data is None:
+            self._data = [None] * self.capacity
+            self._oob = [None] * self.capacity
+
+    # -- read path -------------------------------------------------------------
+
+    def read(self, sector: int, count: int = 1) -> List[Optional[bytes]]:
+        """Return the payloads of *count* sectors starting at *sector*.
+
+        Reading at or above the write pointer is an error (undefined data on
+        real flash).
+        """
+        if self.state is ChunkState.OFFLINE:
+            raise ChunkStateError(f"read from offline chunk {self.address}")
+        if count <= 0:
+            raise WritePointerError(f"read of {count} sectors")
+        if sector < 0 or sector + count > self.write_pointer:
+            raise WritePointerError(
+                f"read of sectors [{sector}, {sector + count}) above write "
+                f"pointer {self.write_pointer} in {self.address}")
+        return self._data[sector:sector + count]
+
+    def read_oob(self, sector: int, count: int = 1) -> List[Optional[object]]:
+        """Return the out-of-band metadata of *count* sectors at *sector*."""
+        if sector < 0 or sector + count > self.write_pointer:
+            raise WritePointerError(
+                f"OOB read of sectors [{sector}, {sector + count}) above "
+                f"write pointer {self.write_pointer} in {self.address}")
+        return self._oob[sector:sector + count]
+
+    # -- reset / failure --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Erase the chunk: back to ``FREE`` with the pointer at 0."""
+        if self.state is ChunkState.OFFLINE:
+            raise ChunkStateError(f"reset of offline chunk {self.address}")
+        self.state = ChunkState.FREE
+        self.write_pointer = 0
+        self.flushed_pointer = 0
+        self.wear_index += 1
+        self._data = None
+        self._oob = None
+
+    def retire(self) -> None:
+        """Take the chunk offline after an unrecoverable media failure."""
+        self.state = ChunkState.OFFLINE
+
+    def rollback_unflushed(self) -> None:
+        """Drop sectors admitted but never programmed (crash semantics)."""
+        if self.state is ChunkState.OFFLINE:
+            return
+        if self._data is not None:
+            for sector in range(self.flushed_pointer, self.write_pointer):
+                self._data[sector] = None
+                self._oob[sector] = None
+        self.write_pointer = self.flushed_pointer
+        if self.write_pointer == 0:
+            self.state = ChunkState.FREE
+        elif self.write_pointer < self.capacity:
+            self.state = ChunkState.OPEN
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def is_writable(self) -> bool:
+        return self.state in (ChunkState.FREE, ChunkState.OPEN)
+
+    @property
+    def sectors_free(self) -> int:
+        return self.capacity - self.write_pointer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Chunk {self.address} {self.state.value} "
+                f"wp={self.write_pointer}/{self.capacity}>")

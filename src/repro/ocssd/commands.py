@@ -1,0 +1,102 @@
+"""Vector data commands and completions (OCSSD 2.0 command set, §2.2).
+
+The interface supports scatter-gather reads and writes of logical blocks,
+chunk reset, and device-internal copy of logical blocks ("without host
+involvement") — the latter is what group-local garbage collection uses to
+relocate valid data cheaply.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ocssd.address import Ppa
+
+
+class CommandStatus(enum.Enum):
+    OK = "ok"
+    WRITE_FAILED = "write-failed"
+    READ_FAILED = "read-failed"
+    RESET_FAILED = "reset-failed"
+    INVALID = "invalid"
+
+
+@dataclass
+class VectorWrite:
+    """Write ``data[i]`` to ``ppas[i]``; addresses must be chunk-sequential
+    runs aligned on the write pointer and sized in ``ws_min`` units.
+
+    ``oob`` optionally carries per-sector out-of-band metadata (e.g. the
+    owning LBA) that FTL recovery scans can read back.
+
+    ``fua`` (force unit access, as in NVMe) bypasses the controller's
+    write-back cache: the command completes only once the data is on NAND.
+    FTL write-ahead logs use it for commit durability.
+    """
+
+    ppas: List[Ppa]
+    data: List[Optional[bytes]]
+    oob: Optional[List[object]] = None
+    fua: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.ppas) != len(self.data):
+            raise ValueError(
+                f"vector write with {len(self.ppas)} addresses but "
+                f"{len(self.data)} payloads")
+        if self.oob is not None and len(self.oob) != len(self.ppas):
+            raise ValueError(
+                f"vector write with {len(self.ppas)} addresses but "
+                f"{len(self.oob)} OOB entries")
+
+
+@dataclass
+class VectorRead:
+    """Read the sectors named by *ppas* (any scatter pattern)."""
+
+    ppas: List[Ppa]
+
+
+@dataclass
+class ChunkReset:
+    """Reset (erase) the chunk containing *ppa*."""
+
+    ppa: Ppa
+
+
+@dataclass
+class VectorCopy:
+    """Device-internal copy: move sectors ``src[i]`` to ``dst[i]`` without
+    transferring data to the host.  Destinations obey the same sequential
+    write rules as :class:`VectorWrite`."""
+
+    src: List[Ppa]
+    dst: List[Ppa]
+
+    def __post_init__(self) -> None:
+        if len(self.src) != len(self.dst):
+            raise ValueError(
+                f"vector copy with {len(self.src)} sources but "
+                f"{len(self.dst)} destinations")
+
+
+@dataclass
+class Completion:
+    """Result of a command: status, payloads for reads, and timing."""
+
+    status: CommandStatus
+    data: List[Optional[bytes]] = field(default_factory=list)
+    oob: List[Optional[object]] = field(default_factory=list)
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is CommandStatus.OK
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.submitted_at

@@ -1,0 +1,297 @@
+"""The device controller: command scheduling, timing and interference.
+
+The parallelism rules of §2.1 are enforced structurally:
+
+* one channel :class:`~repro.sim.Resource` per *group* — no interference
+  across groups, contention within one;
+* one resource per *chip* (PU) — operations are sequential within a chip;
+* NAND latencies come from the chip's :class:`~repro.nand.NandTiming`.
+
+With the write-back cache enabled (the default, matching the evaluation
+drive), a write completes once its data is transferred into controller
+DRAM and cache credits are held; a per-PU flusher process programs the
+data to NAND in admission order.  Program failures discovered during the
+background flush are reported through the asynchronous notification log,
+exactly the §2.2 "asynchronous error reporting" contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MediaError
+from repro.nand.chip import FlashChip
+from repro.ocssd.address import Ppa
+from repro.ocssd.cache import WriteBackCache
+from repro.ocssd.chunk import Chunk
+from repro.ocssd.geometry import DeviceGeometry
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource, Store
+
+ChunkKey = Tuple[int, int, int]
+PuKey = Tuple[int, int]
+
+
+@dataclass
+class _FlushJob:
+    epoch: int
+    chunk: Chunk
+    chip: FlashChip
+    first_sector: int
+    sectors: int
+    granted: int  # cache credits to release once programmed
+
+
+@dataclass
+class ControllerStats:
+    sectors_written: int = 0
+    sectors_read: int = 0
+    sectors_read_from_cache: int = 0
+    chunk_resets: int = 0
+    program_failures: int = 0
+    read_failures: int = 0
+
+
+class Controller:
+    """Schedules chunk-granular operations onto channels and chips."""
+
+    def __init__(self, sim: Simulator, geometry: DeviceGeometry,
+                 chips: Dict[PuKey, FlashChip],
+                 chunks: Dict[ChunkKey, Chunk],
+                 notify: Callable[[Ppa, str, str], None],
+                 write_back: bool = True,
+                 cache_sectors: Optional[int] = None):
+        self.sim = sim
+        self.geometry = geometry
+        self.chips = chips
+        self.chunks = chunks
+        self.notify = notify
+        self.write_back = write_back
+        # Default cache: 64 write units per PU, a controller-DRAM-sized
+        # staging area (tunable; ablation bench sweeps it).
+        if cache_sectors is None:
+            cache_sectors = 64 * geometry.ws_min * geometry.total_pus
+        self.cache = WriteBackCache(sim, cache_sectors) if write_back else None
+        self.channels = [Resource(sim, name=f"channel{g}")
+                         for g in range(geometry.num_groups)]
+        self.chip_locks: Dict[PuKey, Resource] = {
+            key: Resource(sim, name=f"chip{key}") for key in chips}
+        self.stats = ControllerStats()
+        self._epoch = 0
+        self._pending_flush = 0
+        self._idle_waiters: List[object] = []
+        self._flush_queues: Dict[PuKey, Store] = {}
+        if write_back:
+            for key in chips:
+                queue = Store(sim, name=f"flushq{key}")
+                self._flush_queues[key] = queue
+                sim.spawn(self._flusher(key, queue), name=f"flusher{key}")
+
+    # -- epochs / crash ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def crash_volatile(self) -> None:
+        """Drop cache contents and orphan all in-flight work (power loss /
+        controller kill).  Chunks roll back to their flushed pointers."""
+        self._epoch += 1
+        if self.cache is not None:
+            self.cache.drop_all()
+        self._pending_flush = 0
+        self._wake_idle_waiters()
+        for chunk in self.chunks.values():
+            chunk.rollback_unflushed()
+
+    # -- write path ---------------------------------------------------------------
+
+    def write_run(self, chunk: Chunk, first_sector: int, sectors: int,
+                  fua: bool = False):
+        """Process generator: timing for a chunk-sequential write already
+        admitted into *chunk* (data and write pointer updated by the device
+        before this runs).  ``fua`` forces write-through."""
+        epoch = self._epoch
+        key = (chunk.address.group, chunk.address.pu)
+        chip = self.chips[key]
+        num_bytes = sectors * self.geometry.sector_size
+
+        channel = self.channels[chunk.address.group]
+        grant = channel.request()
+        yield grant
+        try:
+            yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
+        finally:
+            channel.release()
+        if epoch != self._epoch:
+            return False
+
+        if self.cache is not None and not fua:
+            reservation = self.cache.reserve(sectors)
+            yield reservation
+            if epoch != self._epoch:
+                return False
+            self._pending_flush += 1
+            self._flush_queues[key].put(_FlushJob(
+                epoch=epoch, chunk=chunk, chip=chip,
+                first_sector=first_sector, sectors=sectors,
+                granted=reservation.value))
+            # Write-back: the command completes here; the flusher programs
+            # the data and reports failures asynchronously (§2.2).
+            self.stats.sectors_written += sectors
+            return True
+
+        # Write-through (no cache, or FUA).  A FUA write behind cached
+        # writes to the same chunk must not program out of order: wait for
+        # the earlier sectors to flush first.
+        while chunk.flushed_pointer < first_sector:
+            yield from self.drain()
+            if epoch != self._epoch:
+                return False
+        ok = yield from self._program(chunk, chip, first_sector, sectors,
+                                      epoch, priority=-1 if fua else 0)
+        if ok:
+            self.stats.sectors_written += sectors
+        return ok
+
+    def _flusher(self, key: PuKey, queue: Store):
+        """Background process draining one PU's flush queue in FIFO order."""
+        while True:
+            job: _FlushJob = yield queue.get()
+            if job.epoch != self._epoch:
+                continue
+            yield from self._program(job.chunk, job.chip, job.first_sector,
+                                     job.sectors, job.epoch)
+            if job.epoch == self._epoch:
+                self.cache.release(job.granted)
+                self._pending_flush -= 1
+                if self._pending_flush == 0:
+                    self._wake_idle_waiters()
+
+    def _program(self, chunk: Chunk, chip: FlashChip, first_sector: int,
+                 sectors: int, epoch: int, priority: int = 0):
+        """Program one sequential run, write unit by write unit.
+
+        The chip lock is released between units: flash programs one
+        (multi-plane, paired-page) group at a time, so other operations on
+        the chip — reads, a FUA metadata write — interleave at write-unit
+        granularity instead of stalling for a whole multi-megabyte run.
+        Returns success.
+        """
+        key = (chunk.address.group, chunk.address.pu)
+        lock = self.chip_locks[key]
+        ws_min = self.geometry.ws_min
+        done = 0
+        while done < sectors:
+            unit = min(ws_min, sectors - done)
+            yield lock.request(priority)
+            try:
+                if epoch != self._epoch:
+                    return False
+                try:
+                    elapsed = chip.program(chunk.address.chunk, unit)
+                except MediaError as exc:
+                    self.stats.program_failures += 1
+                    chunk.retire()
+                    self.notify(chunk.address, "write-failed", str(exc))
+                    return False
+                yield self.sim.timeout(elapsed)
+                done += unit
+                if epoch == self._epoch:
+                    chunk.mark_flushed(first_sector + done)
+            finally:
+                lock.release()
+        return True
+
+    # -- read path -----------------------------------------------------------------
+
+    def read_run(self, chunk: Chunk, first_sector: int, sectors: int):
+        """Process generator: timing for a chunk-contiguous read.
+
+        Sectors above the chunk's flushed pointer are served from controller
+        DRAM (no chip access); the rest require a media sense followed by a
+        channel transfer.  Returns the payload list, or raises
+        :class:`MediaError` on an uncorrectable read.
+        """
+        epoch = self._epoch
+        key = (chunk.address.group, chunk.address.pu)
+        chip = self.chips[key]
+        payloads = chunk.read(first_sector, sectors)
+
+        media_sectors = max(0, min(chunk.flushed_pointer,
+                                   first_sector + sectors) - first_sector)
+        cached_sectors = sectors - media_sectors
+        self.stats.sectors_read += sectors
+        self.stats.sectors_read_from_cache += cached_sectors
+
+        if media_sectors > 0:
+            lock = self.chip_locks[key]
+            yield lock.request()
+            try:
+                if epoch != self._epoch:
+                    return payloads
+                try:
+                    elapsed = chip.read(chunk.address.chunk, first_sector,
+                                        media_sectors)
+                except MediaError as exc:
+                    self.stats.read_failures += 1
+                    self.notify(chunk.address, "read-error", str(exc))
+                    raise
+                yield self.sim.timeout(elapsed)
+            finally:
+                lock.release()
+
+        num_bytes = sectors * self.geometry.sector_size
+        channel = self.channels[chunk.address.group]
+        yield channel.request()
+        try:
+            yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
+        finally:
+            channel.release()
+        return payloads
+
+    # -- reset path -----------------------------------------------------------------
+
+    def reset_chunk(self, chunk: Chunk):
+        """Process generator: erase the chunk's block set.
+
+        Returns True on success; on an erase failure the chunk is retired,
+        a notification is logged, and False is returned.
+        """
+        epoch = self._epoch
+        key = (chunk.address.group, chunk.address.pu)
+        chip = self.chips[key]
+        lock = self.chip_locks[key]
+        yield lock.request()
+        try:
+            if epoch != self._epoch:
+                return False
+            try:
+                elapsed = chip.erase(chunk.address.chunk)
+            except MediaError as exc:
+                chunk.retire()
+                self.notify(chunk.address, "reset-failed", str(exc))
+                return False
+            yield self.sim.timeout(elapsed)
+            if epoch == self._epoch:
+                chunk.reset()
+            return True
+        finally:
+            lock.release()
+
+    # -- flush barrier ----------------------------------------------------------------
+
+    def drain(self):
+        """Process generator: wait until every cached write has reached NAND
+        (the device-level flush / sync barrier)."""
+        while self._pending_flush > 0:
+            waiter = self.sim.event()
+            self._idle_waiters.append(waiter)
+            yield waiter
+        return True
+
+    def _wake_idle_waiters(self) -> None:
+        waiters, self._idle_waiters = self._idle_waiters, []
+        for waiter in waiters:
+            waiter.succeed()

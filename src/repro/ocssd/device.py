@@ -1,0 +1,303 @@
+"""The Open-Channel SSD facade: what the host (or OX media manager) talks to.
+
+Two ways to drive the device:
+
+* **Inside the simulation** — ``yield from device.submit(cmd)`` from a
+  process; returns a :class:`Completion` with timing.
+* **Synchronously** — ``device.execute(cmd)`` (or the ``write``/``read``/
+  ``reset``/``copy`` helpers) runs the simulator until the command
+  completes.  Convenient for functional code and tests; each call advances
+  the shared simulated clock.
+
+Crash semantics: :meth:`crash_volatile` models a power/controller failure —
+the write-back cache is lost, chunks roll back to their flushed pointers,
+and in-flight commands are orphaned.  :meth:`flush` is the durability
+barrier that bounds what a crash can lose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import GeometryError, MediaError, ReproError
+from repro.nand.chip import FlashChip
+from repro.nand.errors import WearModel
+from repro.nand.timing import NandTiming, timing_for
+from repro.ocssd.address import Ppa
+from repro.ocssd.chunk import Chunk, ChunkState
+from repro.ocssd.commands import (
+    ChunkReset,
+    Completion,
+    CommandStatus,
+    VectorCopy,
+    VectorRead,
+    VectorWrite,
+)
+from repro.ocssd.controller import Controller
+from repro.ocssd.geometry import DeviceGeometry
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class ChunkNotification:
+    """Asynchronous error/advisory report from the device (§2.2)."""
+
+    ppa: Ppa
+    kind: str       # "write-failed" | "read-error" | "reset-failed" | "wear-high"
+    detail: str
+    time: float
+
+
+@dataclass(frozen=True)
+class ChunkDescriptor:
+    """Chunk metadata as returned by the chunk-information admin command."""
+
+    ppa: Ppa
+    state: ChunkState
+    write_pointer: int
+    capacity: int
+    wear_index: int
+
+
+_Run = Tuple[Chunk, int, int, int]  # (chunk, first_sector, count, offset)
+
+
+class OpenChannelSSD:
+    """A simulated Open-Channel SSD exposing the OCSSD 2.0 command set."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 geometry: Optional[DeviceGeometry] = None,
+                 timing: Optional[NandTiming] = None,
+                 write_back: bool = True,
+                 cache_sectors: Optional[int] = None,
+                 wear_seed: int = 0,
+                 grown_fail_prob: float = 0.0,
+                 factory_bad: Optional[Dict[Tuple[int, int], List[int]]] = None):
+        self.sim = sim or Simulator()
+        self.geometry = geometry or DeviceGeometry()
+        flash = self.geometry.flash
+        timing = timing or timing_for(flash.cell)
+        factory_bad = factory_bad or {}
+
+        self.chips: Dict[Tuple[int, int], FlashChip] = {}
+        self.chunks: Dict[Tuple[int, int, int], Chunk] = {}
+        for index, (group, pu) in enumerate(self.geometry.iter_pus()):
+            wear = WearModel(cell=flash.cell, seed=wear_seed + index,
+                             grown_fail_prob=grown_fail_prob)
+            chip = FlashChip(geometry=flash, timing=timing, wear=wear,
+                             factory_bad=factory_bad.get((group, pu)))
+            self.chips[(group, pu)] = chip
+            for chunk_index in range(self.geometry.chunks_per_pu):
+                ppa = Ppa(group, pu, chunk_index, 0)
+                chunk = Chunk(ppa, capacity=self.geometry.sectors_per_chunk,
+                              ws_min=self.geometry.ws_min)
+                if chunk_index in (factory_bad.get((group, pu)) or []):
+                    chunk.retire()
+                self.chunks[(group, pu, chunk_index)] = chunk
+
+        self.notifications: List[ChunkNotification] = []
+        self.controller = Controller(
+            self.sim, self.geometry, self.chips, self.chunks,
+            notify=self._notify, write_back=write_back,
+            cache_sectors=cache_sectors)
+
+    # -- admin commands -----------------------------------------------------------
+
+    def report_geometry(self) -> DeviceGeometry:
+        """The geometry-discovery admin command."""
+        return self.geometry
+
+    def chunk_info(self, ppa: Ppa) -> ChunkDescriptor:
+        """Chunk metadata for the chunk containing *ppa*."""
+        chunk = self._chunk(ppa)
+        return ChunkDescriptor(ppa=chunk.address, state=chunk.state,
+                               write_pointer=chunk.write_pointer,
+                               capacity=chunk.capacity,
+                               wear_index=chunk.wear_index)
+
+    def iter_chunk_info(self) -> Iterator[ChunkDescriptor]:
+        """Walk every chunk descriptor in address order (recovery scans)."""
+        for group, pu in self.geometry.iter_pus():
+            for index in range(self.geometry.chunks_per_pu):
+                yield self.chunk_info(Ppa(group, pu, index, 0))
+
+    def pop_notifications(self) -> List[ChunkNotification]:
+        """Drain the asynchronous notification log."""
+        drained, self.notifications = self.notifications, []
+        return drained
+
+    # -- command submission (in-simulation generator API) -----------------------------
+
+    def submit(self, command):
+        """Process generator executing *command*; returns a Completion."""
+        submitted = self.sim.now
+        try:
+            if isinstance(command, VectorWrite):
+                completion = yield from self._do_write(command)
+            elif isinstance(command, VectorRead):
+                completion = yield from self._do_read(command)
+            elif isinstance(command, ChunkReset):
+                completion = yield from self._do_reset(command)
+            elif isinstance(command, VectorCopy):
+                completion = yield from self._do_copy(command)
+            else:
+                raise ReproError(f"unknown command {command!r}")
+        except ReproError as exc:
+            completion = Completion(status=CommandStatus.INVALID,
+                                    error=str(exc))
+        completion.submitted_at = submitted
+        completion.completed_at = self.sim.now
+        return completion
+
+    # -- synchronous convenience API ---------------------------------------------------
+
+    def execute(self, command) -> Completion:
+        """Run *command* to completion, advancing the simulated clock."""
+        return self.sim.run_until(self.sim.spawn(self.submit(command)))
+
+    def write(self, ppas: List[Ppa], data: List[Optional[bytes]],
+              oob: Optional[List[object]] = None,
+              fua: bool = False) -> Completion:
+        return self.execute(VectorWrite(ppas=ppas, data=data, oob=oob,
+                                        fua=fua))
+
+    def read(self, ppas: List[Ppa]) -> Completion:
+        return self.execute(VectorRead(ppas=ppas))
+
+    def reset(self, ppa: Ppa) -> Completion:
+        return self.execute(ChunkReset(ppa=ppa))
+
+    def copy(self, src: List[Ppa], dst: List[Ppa]) -> Completion:
+        return self.execute(VectorCopy(src=src, dst=dst))
+
+    def flush(self) -> None:
+        """Synchronously drain the write-back cache to NAND."""
+        self.sim.run_until(self.sim.spawn(self.flush_proc()))
+
+    def flush_proc(self):
+        """Process generator: the durability barrier."""
+        yield from self.controller.drain()
+
+    def crash_volatile(self) -> None:
+        """Power-fail / controller-kill: lose everything volatile."""
+        self.controller.crash_volatile()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _notify(self, ppa: Ppa, kind: str, detail: str) -> None:
+        self.notifications.append(ChunkNotification(
+            ppa=ppa, kind=kind, detail=detail, time=self.sim.now))
+
+    def _chunk(self, ppa: Ppa) -> Chunk:
+        self.geometry.check(ppa)
+        return self.chunks[ppa.chunk_key()]
+
+    def _split_runs(self, ppas: List[Ppa]) -> List[_Run]:
+        """Group addresses into maximal chunk-contiguous runs, remembering
+        each run's offset into the original vector."""
+        runs: List[_Run] = []
+        start = 0
+        while start < len(ppas):
+            first = ppas[start]
+            chunk = self._chunk(first)
+            end = start + 1
+            while (end < len(ppas)
+                   and ppas[end].chunk_key() == first.chunk_key()
+                   and ppas[end].sector == ppas[end - 1].sector + 1):
+                end += 1
+            runs.append((chunk, first.sector, end - start, start))
+            start = end
+        return runs
+
+    def _do_write(self, command: VectorWrite):
+        runs = self._split_runs(command.ppas)
+        # Admission is synchronous and in vector order: write pointers
+        # advance and payloads become readable before the timed transfer —
+        # the semantics of a controller that buffers on arrival.  A
+        # validation error mid-vector leaves earlier runs admitted: the
+        # paper is explicit that vector writes are *not* atomic (§4.3).
+        for chunk, first_sector, count, offset in runs:
+            payloads = command.data[offset:offset + count]
+            oobs = (command.oob[offset:offset + count]
+                    if command.oob is not None else None)
+            chunk.admit_write(first_sector, payloads, oobs)
+        procs = [self.sim.spawn(
+                     self.controller.write_run(chunk, first_sector, count,
+                                               fua=command.fua),
+                     name=f"write{chunk.address.chunk_key()}")
+                 for chunk, first_sector, count, __ in runs]
+        results = yield self.sim.all_of(procs)
+        if all(results):
+            return Completion(status=CommandStatus.OK)
+        return Completion(status=CommandStatus.WRITE_FAILED,
+                          error="program failure (see notifications)")
+
+    def _do_read(self, command: VectorRead):
+        runs = self._split_runs(command.ppas)
+        data: List[Optional[bytes]] = [None] * len(command.ppas)
+        oob: List[Optional[object]] = [None] * len(command.ppas)
+        failures: List[str] = []
+
+        def one_run(chunk: Chunk, first_sector: int, count: int, offset: int):
+            try:
+                payloads = yield from self.controller.read_run(
+                    chunk, first_sector, count)
+            except MediaError as exc:
+                failures.append(str(exc))
+                return
+            data[offset:offset + count] = payloads
+            oob[offset:offset + count] = chunk.read_oob(first_sector, count)
+
+        procs = [self.sim.spawn(one_run(*run), name="read-run")
+                 for run in runs]
+        yield self.sim.all_of(procs)
+        if failures:
+            return Completion(status=CommandStatus.READ_FAILED, data=data,
+                              oob=oob, error="; ".join(failures))
+        return Completion(status=CommandStatus.OK, data=data, oob=oob)
+
+    def _do_reset(self, command: ChunkReset):
+        chunk = self._chunk(command.ppa)
+        ok = yield from self.controller.reset_chunk(chunk)
+        if ok:
+            return Completion(status=CommandStatus.OK)
+        return Completion(status=CommandStatus.RESET_FAILED,
+                          error=f"reset failed for {chunk.address}")
+
+    def _do_copy(self, command: VectorCopy):
+        """Device-internal copy: data never crosses the host interface.
+
+        Payloads move synchronously (chunk state to chunk state); the timed
+        part is the source reads plus the destination programs.
+        """
+        src_runs = self._split_runs(command.src)
+        payloads: List[Optional[bytes]] = [None] * len(command.src)
+        oobs: List[Optional[object]] = [None] * len(command.src)
+        for chunk, first_sector, count, offset in src_runs:
+            payloads[offset:offset + count] = chunk.read(first_sector, count)
+            oobs[offset:offset + count] = chunk.read_oob(first_sector, count)
+
+        dst_runs = self._split_runs(command.dst)
+        for chunk, first_sector, count, offset in dst_runs:
+            chunk.admit_write(first_sector,
+                              payloads[offset:offset + count],
+                              oobs[offset:offset + count])
+
+        def read_timing(chunk: Chunk, first_sector: int, count: int,
+                        offset: int):
+            try:
+                yield from self.controller.read_run(chunk, first_sector, count)
+            except MediaError:
+                # Data already staged; a source read error during copy is
+                # surfaced through the notification log only.
+                return
+
+        procs = [self.sim.spawn(read_timing(*run), name="copy-read")
+                 for run in src_runs]
+        procs += [self.sim.spawn(
+                      self.controller.write_run(chunk, first_sector, count),
+                      name="copy-write")
+                  for chunk, first_sector, count, __ in dst_runs]
+        yield self.sim.all_of(procs)
+        return Completion(status=CommandStatus.OK)

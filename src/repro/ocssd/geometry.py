@@ -1,0 +1,118 @@
+"""Device-level geometry: groups x parallel units x chunks x sectors.
+
+This is what the OCSSD geometry-report admin command returns to the host.
+The per-chip dimensions come from :class:`repro.nand.FlashGeometry`; the
+device dimensions (groups, PUs per group) are set by the manufacturer
+(§2.1: "SSD manufacturers define the number of channels in an SSD, and the
+number of storage chips per channel").
+
+The default mirrors the evaluation drive of Figure 4: 8 groups x 4 PUs,
+dual-plane TLC, 4 KB sectors, ``ws_min`` = 24 sectors = 96 KB — but with
+chunks scaled down from 24 MB so pure-Python experiments stay tractable
+(the scale factor is reported by :meth:`describe`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import GeometryError
+from repro.nand.geometry import FlashGeometry
+from repro.ocssd.address import Ppa
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Geometry exposed by the device's geometry-report command."""
+
+    num_groups: int = 8
+    pus_per_group: int = 4
+    flash: FlashGeometry = field(default_factory=FlashGeometry)
+
+    def __post_init__(self) -> None:
+        if self.num_groups < 1:
+            raise GeometryError(f"num_groups must be >= 1, got {self.num_groups}")
+        if self.pus_per_group < 1:
+            raise GeometryError(
+                f"pus_per_group must be >= 1, got {self.pus_per_group}")
+
+    # -- derived dimensions ---------------------------------------------------
+
+    @property
+    def sector_size(self) -> int:
+        return self.flash.sector_size
+
+    @property
+    def chunks_per_pu(self) -> int:
+        return self.flash.chunks_per_chip
+
+    @property
+    def sectors_per_chunk(self) -> int:
+        return self.flash.sectors_per_chunk
+
+    @property
+    def chunk_size(self) -> int:
+        return self.flash.chunk_size
+
+    @property
+    def ws_min(self) -> int:
+        """Minimum write size in sectors (the §2.1 unit-of-write)."""
+        return self.flash.write_unit_sectors
+
+    @property
+    def ws_opt(self) -> int:
+        """Optimal write size in sectors (== ``ws_min`` in this model)."""
+        return self.ws_min
+
+    @property
+    def total_pus(self) -> int:
+        return self.num_groups * self.pus_per_group
+
+    @property
+    def total_chunks(self) -> int:
+        return self.total_pus * self.chunks_per_pu
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_chunks * self.chunk_size
+
+    # -- address handling -------------------------------------------------------
+
+    def check(self, ppa: Ppa) -> None:
+        """Raise :class:`GeometryError` unless *ppa* is on the device."""
+        if not (0 <= ppa.group < self.num_groups
+                and 0 <= ppa.pu < self.pus_per_group
+                and 0 <= ppa.chunk < self.chunks_per_pu
+                and 0 <= ppa.sector < self.sectors_per_chunk):
+            raise GeometryError(f"{ppa} outside geometry {self.describe()}")
+
+    def linearize(self, ppa: Ppa) -> int:
+        """Map *ppa* to a dense integer (used for compact map encodings)."""
+        self.check(ppa)
+        index = ppa.group
+        index = index * self.pus_per_group + ppa.pu
+        index = index * self.chunks_per_pu + ppa.chunk
+        index = index * self.sectors_per_chunk + ppa.sector
+        return index
+
+    def delinearize(self, index: int) -> Ppa:
+        """Inverse of :meth:`linearize`."""
+        if not 0 <= index < self.total_chunks * self.sectors_per_chunk:
+            raise GeometryError(f"linear index {index} out of range")
+        index, sector = divmod(index, self.sectors_per_chunk)
+        index, chunk = divmod(index, self.chunks_per_pu)
+        group, pu = divmod(index, self.pus_per_group)
+        return Ppa(group, pu, chunk, sector)
+
+    def iter_pus(self) -> Iterator[tuple[int, int]]:
+        """All ``(group, pu)`` pairs in address order."""
+        for group in range(self.num_groups):
+            for pu in range(self.pus_per_group):
+                yield (group, pu)
+
+    def describe(self) -> str:
+        return (f"{self.num_groups}g x {self.pus_per_group}pu x "
+                f"{self.chunks_per_pu}chk x {self.sectors_per_chunk}sec "
+                f"({self.flash.cell.name}, {self.flash.planes} planes, "
+                f"ws_min={self.ws_min})")

@@ -1,0 +1,25 @@
+"""The OX storage-controller framework (§4 of the paper).
+
+OX is organised in three layers:
+
+* **media manager** (:mod:`repro.ox.media`) — abstracts the underlying
+  Open-Channel SSD under a common physical-address representation;
+* **modular FTL** (:mod:`repro.ox.ftl`) — mapping, provisioning, write
+  buffering, write-ahead log, checkpoints, garbage collection, recovery
+  (the component diagram of Figure 2);
+* **host interface** — the FTL-specific public APIs: :class:`OXBlock`
+  (generic block device), :class:`OXEleos` (log-structured storage for
+  LLAMA) and LightLSM (:mod:`repro.lsm.lightlsm`).
+"""
+
+from repro.ox.media import MediaManager
+from repro.ox.block import BlockConfig, OXBlock
+from repro.ox.eleos import EleosConfig, OXEleos
+
+__all__ = [
+    "MediaManager",
+    "BlockConfig",
+    "OXBlock",
+    "EleosConfig",
+    "OXEleos",
+]

@@ -1,0 +1,476 @@
+"""OX-ELEOS: the application-specific FTL for log-structured storage.
+
+"OX-ELEOS exposes Open-Channel SSDs as log-structured storage, with writes
+at the granularity of Log-Structured Storage (LSS) I/O buffers, typically
+8MB, and reads at the granularity of a single page. ... with
+variable-sized pages of an arbitrary number of bytes, mapping becomes more
+challenging ... application-specific FTLs might require mapping at a
+granularity which is smaller than the unit of read" (§4.2).
+
+Design:
+
+* :meth:`append_buffer` takes one LSS I/O buffer — a list of
+  ``(page_id, payload)`` pairs with payloads of *arbitrary byte sizes* —
+  packs them back to back, and writes the buffer onto a fresh **segment**:
+  a set of whole chunks striped across parallel units.  Pages never span a
+  chunk boundary (padding keeps them inside), so a page is always covered
+  by a contiguous run of sectors.
+* The variable-page map stores ``page_id -> (first_sector, byte_offset,
+  length)`` — a *sub-sector* granularity, smaller than the device's 4 KB
+  unit of read, which is exactly the paper's point.
+* Space reclamation is host-driven, as in log-structured storage: the
+  LLAMA-side cleaner re-appends live pages and then calls
+  :meth:`free_segment`; the FTL resets the segment's chunks.  There is no
+  FTL-internal GC.
+* WAL + checkpoints give the same transactional guarantees as OX-Block:
+  an ``append_buffer`` is atomic — after a crash either every page of the
+  buffer is readable or none is mapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FTLError, OutOfSpaceError
+from repro.ocssd.address import Ppa
+from repro.ocssd.chunk import ChunkState
+from repro.ox.ftl import serial
+from repro.ox.ftl.checkpoint import CheckpointManager
+from repro.ox.ftl.provisioning import MetadataLayout
+from repro.ox.ftl.recovery import RecoveryReport
+from repro.ox.ftl.wal import WalAppender, WalReader
+from repro.ox.media import MediaManager
+from repro.sim.resources import Resource
+from repro.units import MIB
+
+ChunkKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class EleosConfig:
+    """Tunables of the OX-ELEOS FTL."""
+
+    buffer_bytes: int = 8 * MIB      # LSS I/O buffer size (paper: 8 MB)
+    wal_chunk_count: int = 8
+    ckpt_chunks_per_slot: int = 2
+    replay_cpu_per_record: float = 2e-6
+    wal_pressure_threshold: float = 0.6
+
+
+@dataclass
+class VPageEntry:
+    """Where a variable-sized page lives."""
+
+    first_sector: int   # linearized device sector
+    offset: int         # byte offset within that sector
+    length: int         # page length in bytes
+
+
+@dataclass
+class EleosStats:
+    buffers_appended: int = 0
+    pages_appended: int = 0
+    bytes_appended: int = 0
+    pages_read: int = 0
+    segments_freed: int = 0
+    checkpoints: int = 0
+
+
+class OXEleos:
+    """The OX-ELEOS FTL instance.
+
+    Construct with :meth:`format` on a fresh device or :meth:`recover`
+    after a crash.
+    """
+
+    def __init__(self, media: MediaManager, config: EleosConfig,
+                 layout: MetadataLayout):
+        self.media = media
+        self.sim = media.sim
+        self.config = config
+        self.geometry = media.geometry
+        self.layout = layout
+        if config.buffer_bytes < self.geometry.sector_size:
+            raise FTLError("LSS buffer must hold at least one sector")
+        self.vmap: Dict[int, VPageEntry] = {}
+        self.segments: Dict[int, List[ChunkKey]] = {}
+        self._free_chunks: List[ChunkKey] = list(layout.data_chunk_keys())
+        self._next_segment_id = 1
+        self._next_txn_id = 1
+        self._epoch = 0
+        self.wal = WalAppender(media, layout.wal_chunks, epoch=0)
+        self.checkpointer = CheckpointManager(media, layout.ckpt_slots)
+        self._lock = Resource(self.sim, capacity=1, name="eleos-dispatch")
+        self._alive = True
+        self.stats = EleosStats()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def format(cls, media: MediaManager, config: EleosConfig) -> "OXEleos":
+        layout = MetadataLayout.build(
+            media.geometry, wal_chunk_count=config.wal_chunk_count,
+            ckpt_chunks_per_slot=config.ckpt_chunks_per_slot)
+        ftl = cls(media, config, layout)
+        ftl.sim.run_until(ftl.sim.spawn(ftl._checkpoint_locked_proc()))
+        return ftl
+
+    @classmethod
+    def recover(cls, media: MediaManager,
+                config: EleosConfig) -> Tuple["OXEleos", RecoveryReport]:
+        """Rebuild from media; see :mod:`repro.ox.ftl.recovery` for the
+        replay rules (committed + durable transactions only)."""
+        sim = media.sim
+        started = sim.now
+        layout = MetadataLayout.build(
+            media.geometry, wal_chunk_count=config.wal_chunk_count,
+            ckpt_chunks_per_slot=config.ckpt_chunks_per_slot)
+        ftl = cls(media, config, layout)
+        report = sim.run_until(sim.spawn(ftl._recover_proc()))
+        sim.run_until(sim.spawn(ftl._checkpoint_locked_proc()))
+        report.duration = sim.now - started
+        return ftl, report
+
+    def crash(self) -> None:
+        """kill -9: volatile state and the controller cache are gone."""
+        self._alive = False
+        self.media.device.crash_volatile()
+
+    # -- public synchronous API ------------------------------------------------------
+
+    def append_buffer(self, pages: Sequence[Tuple[int, bytes]]) -> int:
+        """Write one LSS I/O buffer; returns the new segment id."""
+        return self.sim.run_until(
+            self.sim.spawn(self.append_buffer_proc(pages)))
+
+    def read_page(self, page_id: int) -> bytes:
+        return self.sim.run_until(self.sim.spawn(self.read_page_proc(page_id)))
+
+    def free_segment(self, segment_id: int) -> None:
+        self.sim.run_until(self.sim.spawn(self.free_segment_proc(segment_id)))
+
+    def checkpoint(self) -> None:
+        self.sim.run_until(self.sim.spawn(self._checkpoint_locked_proc()))
+
+    def live_page_ids(self) -> List[int]:
+        return sorted(self.vmap)
+
+    def segment_of(self, page_id: int) -> Optional[int]:
+        """Which segment currently holds *page_id* (None if unmapped)."""
+        entry = self.vmap.get(page_id)
+        if entry is None:
+            return None
+        key = self.geometry.delinearize(entry.first_sector).chunk_key()
+        for segment_id, chunks in self.segments.items():
+            if key in chunks:
+                return segment_id
+        return None
+
+    # -- process API --------------------------------------------------------------------
+
+    def append_buffer_proc(self, pages: Sequence[Tuple[int, bytes]]):
+        self._check_alive()
+        total = sum(len(payload) for __, payload in pages)
+        if not pages:
+            raise FTLError("empty LSS buffer")
+        if total > self.config.buffer_bytes:
+            raise FTLError(
+                f"buffer of {total} bytes exceeds the configured LSS "
+                f"buffer size {self.config.buffer_bytes}")
+        grant = self._lock.request()
+        yield grant
+        try:
+            segment_id, entries = yield from self._write_segment_proc(pages)
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            chunk_linears = [self._chunk_linear(key)
+                             for key in self.segments[segment_id]]
+            self.wal.append(serial.encode_segment_new(segment_id,
+                                                      chunk_linears))
+            for record in serial.split_vpage_update(
+                    txn_id, entries, self.geometry.sector_size):
+                self.wal.append(record)
+            self.wal.append_commit(txn_id)
+            yield from self.wal.flush_proc()
+            for (page_id, linear, offset, length) in entries:
+                self.vmap[page_id] = VPageEntry(linear, offset, length)
+            yield from self._checkpoint_on_pressure_proc()
+        finally:
+            self._lock.release()
+        self.stats.buffers_appended += 1
+        self.stats.pages_appended += len(pages)
+        self.stats.bytes_appended += total
+        return segment_id
+
+    def read_page_proc(self, page_id: int):
+        """Read one page: fetch the covering sectors (unit of read = 4 KB),
+        slice out the page bytes — the mapping is finer than the read."""
+        self._check_alive()
+        entry = self.vmap.get(page_id)
+        if entry is None:
+            raise FTLError(f"page {page_id} is not mapped")
+        sector_size = self.geometry.sector_size
+        covering = max(1, -(-(entry.offset + entry.length) // sector_size))
+        first = self.geometry.delinearize(entry.first_sector)
+        ppas = [first.with_sector(first.sector + i) for i in range(covering)]
+        completion = yield from self.media.read_proc(ppas)
+        self.media.require_ok(completion, f"page {page_id} read")
+        blob = b"".join((payload or b"").ljust(sector_size, b"\x00")
+                        for payload in completion.data)
+        self.stats.pages_read += 1
+        return blob[entry.offset:entry.offset + entry.length]
+
+    def free_segment_proc(self, segment_id: int):
+        """Host-driven reclamation: the LSS cleaner guarantees every live
+        page of the segment has been re-appended elsewhere."""
+        self._check_alive()
+        grant = self._lock.request()
+        yield grant
+        try:
+            chunks = self.segments.get(segment_id)
+            if chunks is None:
+                raise FTLError(f"unknown segment {segment_id}")
+            stale = [page_id for page_id, entry in self.vmap.items()
+                     if self.geometry.delinearize(entry.first_sector)
+                     .chunk_key() in set(chunks)]
+            if stale:
+                raise FTLError(
+                    f"segment {segment_id} still holds live pages "
+                    f"{stale[:5]}{'...' if len(stale) > 5 else ''}")
+            self.wal.append(serial.encode_segment_free(segment_id))
+            yield from self.wal.flush_proc()
+            yield from self.media.flush_proc()
+            for key in chunks:
+                completion = yield from self.media.reset_proc(Ppa(*key, 0))
+                if completion.ok:
+                    self._free_chunks.append(key)
+            del self.segments[segment_id]
+        finally:
+            self._lock.release()
+        self.stats.segments_freed += 1
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise FTLError("FTL instance has crashed or been closed")
+
+    def _chunk_linear(self, key: ChunkKey) -> int:
+        group, pu, chunk = key
+        return (group * self.geometry.pus_per_group + pu) \
+            * self.geometry.chunks_per_pu + chunk
+
+    def _chunk_from_linear(self, linear: int) -> ChunkKey:
+        per_pu = self.geometry.chunks_per_pu
+        pu_linear, chunk = divmod(linear, per_pu)
+        group, pu = divmod(pu_linear, self.geometry.pus_per_group)
+        return (group, pu, chunk)
+
+    def _write_segment_proc(self, pages: Sequence[Tuple[int, bytes]]):
+        """Pack pages into sectors, allocate whole chunks, write them.
+
+        Returns ``(segment_id, [(page_id, linear, offset, length), ...])``.
+        """
+        geometry = self.geometry
+        sector_size = geometry.sector_size
+        chunk_bytes = geometry.chunk_size
+
+        # Lay pages out; a page never crosses a chunk boundary.
+        layout: List[Tuple[int, int, int]] = []   # (page_id, byte_pos, len)
+        position = 0
+        for page_id, payload in pages:
+            if not payload:
+                raise FTLError(f"page {page_id} has no payload")
+            if len(payload) > chunk_bytes:
+                raise FTLError(
+                    f"page {page_id} ({len(payload)} bytes) exceeds the "
+                    f"chunk size {chunk_bytes}")
+            if (position % chunk_bytes) + len(payload) > chunk_bytes:
+                position += chunk_bytes - (position % chunk_bytes)
+            layout.append((page_id, position, len(payload)))
+            position += len(payload)
+        total_bytes = position
+
+        # Build the byte stream and carve into sectors.
+        stream = bytearray(total_bytes)
+        for (page_id, byte_pos, length), (__, payload) in zip(layout, pages):
+            stream[byte_pos:byte_pos + length] = payload
+        sectors_needed = -(-total_bytes // sector_size)
+        sectors_needed += (-sectors_needed) % geometry.ws_min
+        chunks_needed = -(-sectors_needed // geometry.sectors_per_chunk)
+
+        chunk_keys = self._allocate_chunks(chunks_needed)
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        self.segments[segment_id] = chunk_keys
+
+        # One vector write per chunk; the device stripes across PUs.
+        procs = []
+        for index, key in enumerate(chunk_keys):
+            first_byte = index * chunk_bytes
+            last_byte = min(total_bytes, first_byte + chunk_bytes)
+            count = -(-(last_byte - first_byte) // sector_size)
+            count += (-count) % geometry.ws_min
+            count = min(count, geometry.sectors_per_chunk)
+            ppas = [Ppa(*key, s) for s in range(count)]
+            data = []
+            for s in range(count):
+                start = first_byte + s * sector_size
+                data.append(bytes(stream[start:start + sector_size]))
+            oob = [("lss", segment_id, s) for s in range(count)]
+            procs.append(self.sim.spawn(
+                self.media.write_proc(ppas, data, oob=oob)))
+        completions = yield self.sim.all_of(procs)
+        for completion in completions:
+            self.media.require_ok(completion, "LSS segment write")
+
+        entries = []
+        for page_id, byte_pos, length in layout:
+            chunk_index, chunk_offset = divmod(byte_pos, chunk_bytes)
+            sector_in_chunk, offset = divmod(chunk_offset, sector_size)
+            key = chunk_keys[chunk_index]
+            linear = geometry.linearize(Ppa(*key, sector_in_chunk))
+            entries.append((page_id, linear, offset, length))
+        return segment_id, entries
+
+    def _allocate_chunks(self, count: int) -> List[ChunkKey]:
+        """Take *count* free chunks, spread over distinct PUs when
+        possible so the segment write parallelizes."""
+        if count > len(self._free_chunks):
+            raise OutOfSpaceError(
+                f"segment needs {count} chunks, {len(self._free_chunks)} free")
+        chosen: List[ChunkKey] = []
+        by_pu: Dict[Tuple[int, int], List[ChunkKey]] = {}
+        for key in self._free_chunks:
+            by_pu.setdefault((key[0], key[1]), []).append(key)
+        pus = sorted(by_pu)
+        pu_index = 0
+        while len(chosen) < count:
+            pu = pus[pu_index % len(pus)]
+            if by_pu[pu]:
+                chosen.append(by_pu[pu].pop(0))
+            pu_index += 1
+            if all(not chunks for chunks in by_pu.values()):
+                break
+        chosen_set = set(chosen)
+        self._free_chunks = [key for key in self._free_chunks
+                             if key not in chosen_set]
+        return chosen
+
+    # -- checkpoint / recovery ------------------------------------------------------------
+
+    def _checkpoint_on_pressure_proc(self):
+        if self.wal.fill_fraction() <= self.config.wal_pressure_threshold:
+            return
+        yield from self._do_checkpoint_proc()
+
+    def _checkpoint_locked_proc(self):
+        grant = self._lock.request()
+        yield grant
+        try:
+            yield from self._do_checkpoint_proc()
+        finally:
+            self._lock.release()
+
+    def _do_checkpoint_proc(self):
+        # A checkpointed mapping must point at durable data: drain the
+        # controller cache before snapshotting the vmap.
+        yield from self.media.flush_proc()
+        seq = self._epoch + 1
+        records: List[bytes] = []
+        vmap_rows = [(page_id, entry.first_sector, entry.offset, entry.length)
+                     for page_id, entry in sorted(self.vmap.items())]
+        records.extend(serial.split_ckpt_vmap(vmap_rows,
+                                              self.geometry.sector_size))
+        for segment_id, chunks in sorted(self.segments.items()):
+            records.append(serial.encode_ckpt_segment(
+                segment_id, [self._chunk_linear(key) for key in chunks]))
+        yield from self.checkpointer.write_payload_proc(
+            seq, self._next_txn_id, records)
+        yield from self.media.flush_proc()
+        yield from self.wal.truncate_proc(seq)
+        self._epoch = seq
+        self.stats.checkpoints += 1
+
+    def _recover_proc(self):
+        report = RecoveryReport()
+        snapshot = yield from self.checkpointer.read_latest_proc()
+        if snapshot is not None:
+            self._epoch = snapshot.seq
+            self._next_txn_id = snapshot.next_txn_id
+            report.checkpoint_seq = snapshot.seq
+            for page_id, linear, offset, length in snapshot.vmap_entries:
+                self.vmap[page_id] = VPageEntry(linear, offset, length)
+            for segment_id, chunk_linears in snapshot.segments:
+                self.segments[segment_id] = [
+                    self._chunk_from_linear(linear)
+                    for linear in chunk_linears]
+                self._next_segment_id = max(self._next_segment_id,
+                                            segment_id + 1)
+        self.wal.epoch = self._epoch
+
+        reader = WalReader(self.media, self.layout.wal_chunks, self._epoch)
+        records = yield from reader.read_proc()
+        report.wal_sectors_read = reader.sectors_read
+        report.records_decoded = len(records)
+
+        pending: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        pending_segments: Dict[int, List[Tuple[int, List[int]]]] = {}
+        current_segments: List[Tuple[int, List[int]]] = []
+        for record in records:
+            if self.config.replay_cpu_per_record:
+                yield self.sim.timeout(self.config.replay_cpu_per_record)
+            if record.rtype == serial.REC_VPAGE_UPDATE:
+                txn_id, entries = serial.decode_vpage_update(record.body)
+                pending.setdefault(txn_id, []).extend(entries)
+            elif record.rtype == serial.REC_SEGMENT_NEW:
+                current_segments.append(serial.decode_segment(record.body))
+            elif record.rtype == serial.REC_SEGMENT_FREE:
+                segment_id, __ = serial.decode_segment(record.body)
+                self.segments.pop(segment_id, None)
+            elif record.rtype == serial.REC_COMMIT:
+                txn_id = serial.decode_commit(record.body)
+                entries = pending.pop(txn_id, [])
+                segments = current_segments
+                current_segments = []
+                if not self._txn_durable(entries):
+                    report.txns_dropped += 1
+                    continue
+                for segment_id, chunk_linears in segments:
+                    self.segments[segment_id] = [
+                        self._chunk_from_linear(linear)
+                        for linear in chunk_linears]
+                    self._next_segment_id = max(self._next_segment_id,
+                                                segment_id + 1)
+                for page_id, linear, offset, length in entries:
+                    self.vmap[page_id] = VPageEntry(linear, offset, length)
+                self._next_txn_id = max(self._next_txn_id, txn_id + 1)
+                report.txns_applied += 1
+
+        # Rebuild the free pool: anything not owned by a live segment and
+        # not reserved for metadata is free (resetting lazily on reuse).
+        owned = {key for chunks in self.segments.values() for key in chunks}
+        self._free_chunks = []
+        for key in self.layout.data_chunk_keys():
+            if key in owned:
+                continue
+            info = self.media.chunk_info(Ppa(*key, 0))
+            if info.state is ChunkState.OFFLINE:
+                continue
+            if info.write_pointer > 0:
+                completion = yield from self.media.reset_proc(Ppa(*key, 0))
+                if not completion.ok:
+                    continue
+            self._free_chunks.append(key)
+        return report
+
+    def _txn_durable(self, entries: List[Tuple[int, int, int, int]]) -> bool:
+        sector_size = self.geometry.sector_size
+        for __, linear, offset, length in entries:
+            ppa = self.geometry.delinearize(linear)
+            covering = max(1, -(-(offset + length) // sector_size))
+            info = self.media.chunk_info(ppa)
+            if ppa.sector + covering > info.write_pointer:
+                return False
+        return True

@@ -1,0 +1,196 @@
+"""Group-local garbage collection (§4.3).
+
+"For garbage collection, OX-Block marks a group for collection.  Then,
+background threads recycle victim chunks within that group.  This
+guarantees locality of interferences from garbage collection" — on a
+16-channel SSD 93.7 % of the address space sees no GC interference, 87.5 %
+on 8 channels.  The collector here does exactly that: victims are chosen
+within the *marked group* only, relocation targets are allocated in the
+same group (a dedicated "gc" provisioning stream), and all GC media
+traffic therefore contends only with I/O to that one group.
+
+Relocation is crash-safe by ordering: device-internal copy, device flush
+(copies durable), WAL commit of the map updates, only then the victim
+reset.  Validity is re-checked under the dispatch lock after the copy, so
+a user overwrite racing the relocation can never be undone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import OutOfSpaceError
+from repro.ocssd.address import Ppa
+from repro.ox.ftl.mapping import PageMap
+from repro.ox.ftl.metadata import ChunkTable, FtlChunkInfo, FtlChunkState
+from repro.ox.ftl.provisioning import Provisioner
+from repro.ox.ftl.serial import NO_PPA
+from repro.ox.ftl.wal import WalAppender
+from repro.ox.media import MediaManager
+
+ChunkKey = Tuple[int, int, int]
+
+
+@dataclass
+class GcStats:
+    chunks_recycled: int = 0
+    sectors_relocated: int = 0
+    resets: int = 0
+    reset_failures: int = 0
+    group_rotations: int = 0
+
+
+class GarbageCollector:
+    """Recycles invalid space, one marked group at a time.
+
+    Every ``*_locked_proc`` generator must be driven while the caller holds
+    the FTL dispatch lock: GC mutates the mapping table, chunk metadata and
+    provisioner state.
+    """
+
+    def __init__(self, media: MediaManager, page_map: PageMap,
+                 chunk_table: ChunkTable, provisioner: Provisioner,
+                 wal: WalAppender, next_txn_id: Callable[[], int]):
+        self.media = media
+        self.geometry = media.geometry
+        self.page_map = page_map
+        self.chunk_table = chunk_table
+        self.provisioner = provisioner
+        self.wal = wal
+        self.next_txn_id = next_txn_id
+        self.marked_group = 0
+        self.stats = GcStats()
+
+    # -- victim selection ----------------------------------------------------------
+
+    def pick_victim(self) -> Optional[FtlChunkInfo]:
+        """The most-invalid FULL chunk of the marked group; rotates the
+        marked group when the current one has nothing to collect."""
+        for __ in range(self.geometry.num_groups):
+            victims = self.chunk_table.victims_in_group(self.marked_group)
+            if victims:
+                return victims[0]
+            self.marked_group = (self.marked_group + 1) \
+                % self.geometry.num_groups
+            self.stats.group_rotations += 1
+        return None
+
+    # -- collection ---------------------------------------------------------------------
+
+    def collect_once_locked_proc(self):
+        """Collect one victim; returns True if a chunk was recycled."""
+        victim = self.pick_victim()
+        if victim is None:
+            return False
+        yield from self._relocate_and_reset_proc(victim)
+        return True
+
+    def collect_group_locked_proc(self, group: int,
+                                  max_victims: int = 0):
+        """Collect victims of *group* only — no rotation.  Used when the
+        caller wants the paper's group-confined interference window (the
+        GC-locality experiment).  Returns the number of chunks recycled.
+        """
+        recycled = 0
+        while not max_victims or recycled < max_victims:
+            victims = self.chunk_table.victims_in_group(group)
+            if not victims:
+                break
+            yield from self._relocate_and_reset_proc(victims[0])
+            recycled += 1
+        return recycled
+
+    def collect_until_locked_proc(self, target_free: int):
+        """Collect until the free pool reaches *target_free* chunks (or no
+        victims remain); returns the number of chunks recycled."""
+        recycled = 0
+        while self.provisioner.free_chunks() < target_free:
+            progressed = yield from self.collect_once_locked_proc()
+            if not progressed:
+                break
+            recycled += 1
+        return recycled
+
+    def _relocate_and_reset_proc(self, victim: FtlChunkInfo):
+        key = victim.key
+        base = Ppa(*key, 0)
+        info = self.media.chunk_info(base)
+        live = yield from self._find_live_sectors_proc(key,
+                                                       info.write_pointer)
+        if live:
+            yield from self._relocate_proc(key, live)
+        # Copies (if any) are durable and remapped; the victim holds only
+        # dead data now.
+        victim.valid_count = 0
+        completion = yield from self.media.reset_proc(base)
+        self.stats.resets += 1
+        if completion.ok:
+            self.provisioner.release_chunk(key)
+            self.stats.chunks_recycled += 1
+        else:
+            self.provisioner.retire_chunk(key)
+            self.stats.reset_failures += 1
+
+    def _find_live_sectors_proc(self, key: ChunkKey, write_pointer: int):
+        """Read the victim's OOB to learn owning LBAs, keep the sectors the
+        mapping table still points at.  The read is real device traffic —
+        this is the GC interference the locality experiment measures."""
+        if write_pointer == 0:
+            return []
+        ppas = [Ppa(*key, s) for s in range(write_pointer)]
+        completion = yield from self.media.read_proc(ppas)
+        self.media.require_ok(completion, "GC victim scan")
+        live: List[Tuple[int, int]] = []   # (sector, lba)
+        for sector, lba in enumerate(completion.oob):
+            if not isinstance(lba, int) or lba == NO_PPA:
+                continue
+            current = self.page_map.lookup(lba)
+            if current is not None and \
+                    self.geometry.delinearize(current).chunk_key() == key \
+                    and self.geometry.delinearize(current).sector == sector:
+                live.append((sector, lba))
+        return live
+
+    def _relocate_proc(self, key: ChunkKey, live: List[Tuple[int, int]]):
+        ws_min = self.geometry.ws_min
+        group = key[0]
+        src: List[Ppa] = []
+        dst: List[Ppa] = []
+        lbas: List[int] = []
+        for sector, lba in live:
+            src.append(Ppa(*key, sector))
+            lbas.append(lba)
+        # Pad the relocation to whole write units with dead-sector copies
+        # (their OOB marks them unowned, so they are invalid on arrival).
+        pad = (-len(src)) % ws_min
+        for extra in range(pad):
+            src.append(src[-1])   # recopy an arbitrary sector as filler
+            lbas.append(-1)
+        for index in range(0, len(src), ws_min):
+            unit_key, first = self.provisioner.allocate_unit(
+                "gc", group=group)
+            dst.extend(Ppa(*unit_key, first + i) for i in range(ws_min))
+        completion = yield from self.media.copy_proc(src, dst)
+        self.media.require_ok(completion, "GC relocation copy")
+        yield from self.media.flush_proc()
+
+        # Re-validate under the (held) dispatch lock and commit the moves.
+        txn = self.next_txn_id()
+        entries: List[Tuple[int, int, int]] = []
+        for src_ppa, dst_ppa, lba in zip(src, dst, lbas):
+            if lba < 0:
+                continue
+            old_linear = self.geometry.linearize(src_ppa)
+            if self.page_map.lookup(lba) != old_linear:
+                continue   # overwritten while we copied; copy is garbage
+            new_linear = self.geometry.linearize(dst_ppa)
+            self.page_map.update(lba, new_linear)
+            self.chunk_table.add_valid(dst_ppa.chunk_key())
+            self.chunk_table.invalidate(key)
+            entries.append((lba, new_linear, old_linear))
+            self.stats.sectors_relocated += 1
+        if entries:
+            self.wal.append_map_update(txn, entries)
+            self.wal.append_commit(txn)
+            yield from self.wal.flush_proc()

@@ -1,0 +1,70 @@
+"""The page-granularity logical-to-physical mapping table.
+
+OX-Block "maintains a 4KB-granularity page-level mapping table" (§4.2).
+The table maps LBAs to linearized PPAs (see
+:meth:`repro.ocssd.DeviceGeometry.linearize`) and tracks dirtiness in
+fixed-size segments so checkpoints can persist incrementally and the
+"mapping information may be read and persisted by caching mechanisms"
+component of Figure 2 has a concrete unit of granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+
+class PageMap:
+    """LBA -> linear PPA map with segment-level dirty tracking."""
+
+    def __init__(self, segment_size: int = 1024):
+        if segment_size < 1:
+            raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+        self.segment_size = segment_size
+        self._map: Dict[int, int] = {}
+        self._dirty_segments: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._map
+
+    def lookup(self, lba: int) -> Optional[int]:
+        """The current physical location of *lba*, or None if unmapped."""
+        return self._map.get(lba)
+
+    def update(self, lba: int, ppa: int) -> Optional[int]:
+        """Point *lba* at *ppa*; returns the previous PPA (None if new)."""
+        previous = self._map.get(lba)
+        self._map[lba] = ppa
+        self._dirty_segments.add(lba // self.segment_size)
+        return previous
+
+    def remove(self, lba: int) -> Optional[int]:
+        """Unmap *lba* (trim); returns the previous PPA (None if unmapped)."""
+        previous = self._map.pop(lba, None)
+        if previous is not None:
+            self._dirty_segments.add(lba // self.segment_size)
+        return previous
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._map.items())
+
+    # -- checkpoint support ---------------------------------------------------
+
+    @property
+    def dirty_segment_count(self) -> int:
+        return len(self._dirty_segments)
+
+    def mark_clean(self) -> None:
+        """Called after a checkpoint has persisted the table."""
+        self._dirty_segments.clear()
+
+    def load(self, entries: Iterator[Tuple[int, int]]) -> None:
+        """Bulk-load from a checkpoint (replaces current content, clean)."""
+        self._map = dict(entries)
+        self._dirty_segments.clear()
+
+    def snapshot(self) -> list[Tuple[int, int]]:
+        """A stable copy of all entries, sorted by LBA (for checkpoints)."""
+        return sorted(self._map.items())

@@ -1,0 +1,123 @@
+"""FTL-side chunk bookkeeping: states, valid-sector counts, write cursors.
+
+The device knows chunk write pointers and media states; the FTL
+additionally needs *validity* (how many sectors in a chunk still back live
+LBAs) to drive garbage collection, and its own free/open/full/bad view of
+the data region.  This is the "block metadata" that checkpoints persist
+(Figure 2: "mapping and block metadata may be persisted during checkpoint
+process").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FTLError
+from repro.ocssd.geometry import DeviceGeometry
+
+ChunkKey = Tuple[int, int, int]
+
+
+class FtlChunkState(enum.Enum):
+    FREE = 0
+    OPEN = 1
+    FULL = 2
+    BAD = 3
+
+
+@dataclass
+class FtlChunkInfo:
+    """The FTL's view of one data-region chunk."""
+
+    key: ChunkKey
+    state: FtlChunkState = FtlChunkState.FREE
+    valid_count: int = 0
+    write_next: int = 0   # next sector the FTL will write in this chunk
+
+
+class ChunkTable:
+    """All data-region chunks, indexed by chunk key."""
+
+    def __init__(self, geometry: DeviceGeometry,
+                 data_chunks: Iterator[ChunkKey]):
+        self.geometry = geometry
+        self._chunks: Dict[ChunkKey, FtlChunkInfo] = {
+            key: FtlChunkInfo(key=key) for key in data_chunks}
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        return key in self._chunks
+
+    def get(self, key: ChunkKey) -> FtlChunkInfo:
+        try:
+            return self._chunks[key]
+        except KeyError:
+            raise FTLError(f"chunk {key} is not in the data region") from None
+
+    def items(self) -> Iterator[Tuple[ChunkKey, FtlChunkInfo]]:
+        return iter(self._chunks.items())
+
+    def values(self) -> Iterator[FtlChunkInfo]:
+        return iter(self._chunks.values())
+
+    # -- validity accounting ------------------------------------------------------
+
+    def add_valid(self, key: ChunkKey, count: int = 1) -> None:
+        info = self.get(key)
+        info.valid_count += count
+        capacity = self.geometry.sectors_per_chunk
+        if info.valid_count > capacity:
+            raise FTLError(
+                f"chunk {key} valid count {info.valid_count} exceeds "
+                f"capacity {capacity}")
+
+    def invalidate(self, key: ChunkKey, count: int = 1) -> None:
+        info = self.get(key)
+        info.valid_count -= count
+        if info.valid_count < 0:
+            raise FTLError(f"chunk {key} valid count went negative")
+
+    # -- GC support -------------------------------------------------------------------
+
+    def victims_in_group(self, group: int) -> List[FtlChunkInfo]:
+        """FULL chunks of *group* with at least one invalid sector, most
+        invalid first — the GC victim-selection order."""
+        capacity = self.geometry.sectors_per_chunk
+        candidates = [info for key, info in self._chunks.items()
+                      if key[0] == group
+                      and info.state is FtlChunkState.FULL
+                      and info.valid_count < capacity]
+        return sorted(candidates, key=lambda info: info.valid_count)
+
+    def free_count(self) -> int:
+        return sum(1 for info in self._chunks.values()
+                   if info.state is FtlChunkState.FREE)
+
+    # -- checkpoint support -------------------------------------------------------------
+
+    def snapshot(self) -> List[Tuple[int, int, int]]:
+        """``(chunk_linear, state, valid_count)`` rows for checkpointing."""
+        rows = []
+        for key, info in sorted(self._chunks.items()):
+            group, pu, chunk = key
+            linear = (group * self.geometry.pus_per_group + pu) \
+                * self.geometry.chunks_per_pu + chunk
+            rows.append((linear, info.state.value, info.valid_count))
+        return rows
+
+    def load_row(self, chunk_linear: int, state: int, valid: int) -> None:
+        per_pu = self.geometry.chunks_per_pu
+        pu_linear, chunk = divmod(chunk_linear, per_pu)
+        group, pu = divmod(pu_linear, self.geometry.pus_per_group)
+        key = (group, pu, chunk)
+        if key not in self._chunks:
+            # Layout changed between format and recovery; refuse silently
+            # rebuilding the wrong world.
+            raise FTLError(f"checkpoint row for unknown chunk {key}")
+        info = self._chunks[key]
+        info.state = FtlChunkState(state)
+        info.valid_count = valid

@@ -1,0 +1,223 @@
+"""Provisioning: metadata layout and physical space allocation.
+
+Two concerns live here:
+
+* :class:`MetadataLayout` carves the physical space into the WAL region,
+  the two checkpoint slots, and the data region (recovery log and
+  "mapping and block metadata" persistence need a home the FTL can find
+  again after a crash — they get fixed chunks in group 0).
+* :class:`Provisioner` hands out write space in the data region.  Space is
+  allocated in ``ws_min`` *units*, round-robin across parallel units so
+  large writes stripe across chips, with independent *streams* (user I/O
+  vs. garbage collection) so GC relocation does not interleave into user
+  chunks — the separation pblk calls user/GC lines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FTLError, OutOfSpaceError
+from repro.ocssd.address import Ppa
+from repro.ocssd.geometry import DeviceGeometry
+from repro.ox.ftl.metadata import ChunkTable, FtlChunkInfo, FtlChunkState
+
+ChunkKey = Tuple[int, int, int]
+PuKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MetadataLayout:
+    """Where the FTL keeps its own durable state.
+
+    Checkpoint slots and WAL chunks are taken from the lowest chunk
+    indexes of group 0, striped over that group's PUs; everything else is
+    the data region.
+    """
+
+    geometry: DeviceGeometry
+    wal_chunks: Tuple[ChunkKey, ...]
+    ckpt_slots: Tuple[Tuple[ChunkKey, ...], Tuple[ChunkKey, ...]]
+
+    @classmethod
+    def build(cls, geometry: DeviceGeometry, wal_chunk_count: int = 4,
+              ckpt_chunks_per_slot: int = 1) -> "MetadataLayout":
+        needed = wal_chunk_count + 2 * ckpt_chunks_per_slot
+        pool: List[ChunkKey] = []
+        for chunk in range(geometry.chunks_per_pu):
+            for pu in range(geometry.pus_per_group):
+                pool.append((0, pu, chunk))
+                if len(pool) == needed:
+                    break
+            if len(pool) == needed:
+                break
+        if len(pool) < needed:
+            raise FTLError(
+                f"group 0 has {geometry.pus_per_group * geometry.chunks_per_pu}"
+                f" chunks; metadata layout needs {needed}")
+        slot_a = tuple(pool[:ckpt_chunks_per_slot])
+        slot_b = tuple(pool[ckpt_chunks_per_slot:2 * ckpt_chunks_per_slot])
+        wal = tuple(pool[2 * ckpt_chunks_per_slot:needed])
+        return cls(geometry=geometry, wal_chunks=wal,
+                   ckpt_slots=(slot_a, slot_b))
+
+    def metadata_chunk_keys(self) -> set[ChunkKey]:
+        keys = set(self.wal_chunks)
+        keys.update(self.ckpt_slots[0])
+        keys.update(self.ckpt_slots[1])
+        return keys
+
+    def data_chunk_keys(self) -> List[ChunkKey]:
+        reserved = self.metadata_chunk_keys()
+        keys = []
+        for group in range(self.geometry.num_groups):
+            for pu in range(self.geometry.pus_per_group):
+                for chunk in range(self.geometry.chunks_per_pu):
+                    key = (group, pu, chunk)
+                    if key not in reserved:
+                        keys.append(key)
+        return keys
+
+
+@dataclass
+class _StreamState:
+    """Round-robin cursor plus the stream's open chunks and filling unit."""
+
+    open_chunks: Dict[PuKey, ChunkKey] = field(default_factory=dict)
+    pu_index: int = 0
+    # Sector-granular allocation: the unit currently being filled.
+    fill_key: Optional[ChunkKey] = None
+    fill_next: int = 0
+    fill_end: int = 0
+
+
+class Provisioner:
+    """Allocates data-region space in write units, per stream."""
+
+    def __init__(self, geometry: DeviceGeometry, table: ChunkTable):
+        self.geometry = geometry
+        self.table = table
+        self._free: Dict[PuKey, deque[ChunkKey]] = {
+            pu: deque() for pu in geometry.iter_pus()}
+        for key, info in sorted(table.items()):
+            if info.state is FtlChunkState.FREE:
+                self._free[(key[0], key[1])].append(key)
+        self._streams: Dict[str, _StreamState] = {}
+
+    # -- stream helpers ---------------------------------------------------------
+
+    def _stream(self, name: str) -> _StreamState:
+        if name not in self._streams:
+            self._streams[name] = _StreamState()
+        return self._streams[name]
+
+    def _pu_cycle(self, state: _StreamState,
+                  group: Optional[int]) -> List[PuKey]:
+        pus = [pu for pu in self.geometry.iter_pus()
+               if group is None or pu[0] == group]
+        start = state.pu_index % len(pus)
+        state.pu_index += 1
+        return pus[start:] + pus[:start]
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate_unit(self, stream: str = "user",
+                      group: Optional[int] = None) -> Tuple[ChunkKey, int]:
+        """Reserve one ``ws_min`` unit; returns ``(chunk_key, first_sector)``.
+
+        Successive calls rotate across parallel units (striping).  With
+        *group* set, allocation is confined to that group (GC locality).
+        """
+        state = self._stream(stream)
+        ws_min = self.geometry.ws_min
+        for pu in self._pu_cycle(state, group):
+            key = state.open_chunks.get(pu)
+            if key is None:
+                if not self._free[pu]:
+                    continue
+                key = self._free[pu].popleft()
+                info = self.table.get(key)
+                info.state = FtlChunkState.OPEN
+                info.write_next = 0
+                state.open_chunks[pu] = key
+            info = self.table.get(key)
+            first = info.write_next
+            info.write_next += ws_min
+            if info.write_next >= self.geometry.sectors_per_chunk:
+                info.state = FtlChunkState.FULL
+                del state.open_chunks[pu]
+            return key, first
+        raise OutOfSpaceError(
+            f"no free chunks available for stream {stream!r}"
+            + (f" in group {group}" if group is not None else ""))
+
+    def allocate_sector(self, stream: str = "user",
+                        group: Optional[int] = None) -> Ppa:
+        """Reserve a single sector; units fill sequentially, then the
+        cursor moves to the next PU's unit."""
+        state = self._stream(stream)
+        if state.fill_key is None or state.fill_next >= state.fill_end:
+            key, first = self.allocate_unit(stream, group)
+            state.fill_key = key
+            state.fill_next = first
+            state.fill_end = first + self.geometry.ws_min
+        group_, pu, chunk = state.fill_key
+        ppa = Ppa(group_, pu, chunk, state.fill_next)
+        state.fill_next += 1
+        return ppa
+
+    def current_unit_remaining(self, stream: str = "user") -> int:
+        """Sectors left in the stream's currently-filling unit (0 if none).
+        The write buffer uses this to decide how much padding a forced
+        flush needs."""
+        state = self._stream(stream)
+        if state.fill_key is None:
+            return 0
+        return state.fill_end - state.fill_next
+
+    # -- reclamation -----------------------------------------------------------------
+
+    def release_chunk(self, key: ChunkKey) -> None:
+        """Return a recycled (reset) chunk to the free pool."""
+        info = self.table.get(key)
+        if info.valid_count:
+            raise FTLError(
+                f"releasing chunk {key} with {info.valid_count} valid sectors")
+        info.state = FtlChunkState.FREE
+        info.write_next = 0
+        self._free[(key[0], key[1])].append(key)
+
+    def retire_chunk(self, key: ChunkKey) -> None:
+        """Drop a chunk that went offline (grown bad block)."""
+        info = self.table.get(key)
+        info.state = FtlChunkState.BAD
+        for stream in self._streams.values():
+            for pu, open_key in list(stream.open_chunks.items()):
+                if open_key == key:
+                    del stream.open_chunks[pu]
+            if stream.fill_key == key:
+                stream.fill_key = None
+
+    # -- occupancy --------------------------------------------------------------------
+
+    def free_chunks(self) -> int:
+        return sum(len(queue) for queue in self._free.values())
+
+    def adopt_open_chunk(self, key: ChunkKey, write_next: int,
+                         stream: str = "user") -> bool:
+        """Recovery helper: resume writing a partially-written chunk.
+
+        Only one open chunk per PU per stream is kept; returns False if the
+        slot is taken (the caller then closes the chunk early instead).
+        """
+        state = self._stream(stream)
+        pu = (key[0], key[1])
+        if pu in state.open_chunks:
+            return False
+        info = self.table.get(key)
+        info.state = FtlChunkState.OPEN
+        info.write_next = write_next
+        state.open_chunks[pu] = key
+        return True

@@ -1,0 +1,217 @@
+"""The write-ahead log.
+
+"In all our designs, we use write-ahead logging (WAL) and checkpoints to
+ensure atomicity and durability of FTL writes" (§4.3).  The log lives in a
+fixed ring of chunks (see :class:`~repro.ox.ftl.provisioning.MetadataLayout`);
+records are packed into sector frames, batches are padded to ``ws_min``
+and written with FUA so a commit acknowledged to the caller is on NAND.
+
+Each flushed sector carries ``("wal", epoch, seq)`` in its OOB: *epoch* is
+the sequence number of the checkpoint the log is relative to, *seq* a
+per-epoch monotone sector counter.  Recovery reads the ring in order and
+stops at the first sector whose epoch/seq does not continue the chain —
+which cleanly handles both a torn tail and a ring that was only partially
+truncated when the crash hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import FTLError, RecoveryError
+from repro.ocssd.address import Ppa
+from repro.ox.ftl import serial
+from repro.ox.media import MediaManager
+
+ChunkKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record as seen by recovery."""
+
+    rtype: int
+    body: bytes
+
+
+class WalAppender:
+    """Append side of the log: buffer records, flush FUA batches."""
+
+    def __init__(self, media: MediaManager, chunks: Sequence[ChunkKey],
+                 epoch: int):
+        if not chunks:
+            raise FTLError("WAL needs at least one chunk")
+        self.media = media
+        self.chunks = list(chunks)
+        self.epoch = epoch
+        geometry = media.geometry
+        self.ws_min = geometry.ws_min
+        self.sectors_per_chunk = geometry.sectors_per_chunk
+        self.sector_size = geometry.sector_size
+        self._writer = serial.FrameWriter(self.sector_size)
+        self._ring_index = 0      # which chunk in the ring
+        self._next_sector = 0     # sector within that chunk
+        self._seq = 0             # per-epoch sector sequence
+        self.sectors_written = 0
+
+    # -- capacity ------------------------------------------------------------------
+
+    @property
+    def capacity_sectors(self) -> int:
+        return len(self.chunks) * self.sectors_per_chunk
+
+    @property
+    def used_sectors(self) -> int:
+        return self._ring_index * self.sectors_per_chunk + self._next_sector
+
+    def fill_fraction(self) -> float:
+        return self.used_sectors / self.capacity_sectors
+
+    # -- appending -------------------------------------------------------------------
+
+    def append(self, record: bytes) -> None:
+        """Buffer one encoded record (see :mod:`repro.ox.ftl.serial`)."""
+        self._writer.append(record)
+
+    def append_map_update(self, txn_id: int,
+                          entries: Sequence[Tuple[int, int, int]]) -> None:
+        for record in serial.split_map_update(txn_id, entries,
+                                              self.sector_size):
+            self.append(record)
+
+    def append_commit(self, txn_id: int) -> None:
+        self.append(serial.encode_commit(txn_id))
+
+    def flush_proc(self):
+        """Process generator: write buffered frames durably (FUA).
+
+        Pads the batch to a whole number of write units.  Raises
+        :class:`FTLError` when the ring is exhausted — the caller must
+        checkpoint (which truncates the ring) before this happens.
+        """
+        frames = self._writer.frames()
+        if not frames:
+            return 0
+        pad = (-len(frames)) % self.ws_min
+        empty = serial.FrameWriter(self.sector_size)
+        empty.append(serial.encode_record(serial.REC_NOOP, b""))
+        noop_frame = empty.frames()[0]
+        frames.extend([noop_frame] * pad)
+
+        total = 0
+        while frames:
+            if self._next_sector >= self.sectors_per_chunk:
+                self._ring_index += 1
+                self._next_sector = 0
+            if self._ring_index >= len(self.chunks):
+                raise FTLError(
+                    "WAL ring exhausted; checkpointing must truncate the "
+                    "log before it fills")
+            room = self.sectors_per_chunk - self._next_sector
+            batch = frames[:room]
+            frames = frames[room:]
+            group, pu, chunk = self.chunks[self._ring_index]
+            ppas = [Ppa(group, pu, chunk, self._next_sector + i)
+                    for i in range(len(batch))]
+            oob = [("wal", self.epoch, self._seq + i)
+                   for i in range(len(batch))]
+            completion = yield from self.media.write_proc(
+                ppas, batch, oob=oob, fua=True)
+            self.media.require_ok(completion, "WAL flush")
+            self._next_sector += len(batch)
+            self._seq += len(batch)
+            self.sectors_written += len(batch)
+            total += len(batch)
+        return total
+
+    # -- truncation --------------------------------------------------------------------
+
+    def truncate_proc(self, new_epoch: int):
+        """Process generator: reset the ring and restart at *new_epoch*.
+
+        Only call after a checkpoint with sequence *new_epoch* is durable —
+        everything in the old log is then redundant.
+        """
+        for key in self.chunks:
+            info = self.media.chunk_info(Ppa(*key, 0))
+            if info.write_pointer == 0 and info.state.value == "free":
+                continue
+            completion = yield from self.media.reset_proc(Ppa(*key, 0))
+            self.media.require_ok(completion, "WAL truncate")
+        self.epoch = new_epoch
+        self._ring_index = 0
+        self._next_sector = 0
+        self._seq = 0
+
+
+class WalReader:
+    """Replay side: read the ring, yield the records of the given epoch."""
+
+    def __init__(self, media: MediaManager, chunks: Sequence[ChunkKey],
+                 epoch: int):
+        self.media = media
+        self.chunks = list(chunks)
+        self.epoch = epoch
+        self.sectors_read = 0
+        self.records: List[WalRecord] = []
+
+    def read_proc(self):
+        """Process generator: read and decode the whole valid log.
+
+        Returns the list of records (also stored in ``self.records``).
+        Timing is real: every sector is fetched through the device.
+        """
+        expected_seq = 0
+        for key in self.chunks:
+            info = self.media.chunk_info(Ppa(*key, 0))
+            if info.write_pointer == 0:
+                break
+            ppas = [Ppa(*key, s) for s in range(info.write_pointer)]
+            completion = yield from self.media.read_proc(ppas)
+            self.media.require_ok(completion, "WAL read")
+            stop = False
+            for sector_data, sector_oob in zip(completion.data,
+                                               completion.oob):
+                if (not isinstance(sector_oob, tuple)
+                        or len(sector_oob) != 3
+                        or sector_oob[0] != "wal"
+                        or sector_oob[1] != self.epoch
+                        or sector_oob[2] != expected_seq):
+                    stop = True
+                    break
+                expected_seq += 1
+                self.sectors_read += 1
+                try:
+                    for record in serial.decode_frame(sector_data):
+                        if record.rtype != serial.REC_NOOP:
+                            self.records.append(
+                                WalRecord(record.rtype, record.body))
+                except RecoveryError:
+                    stop = True
+                    break
+            if stop:
+                break
+        return self.records
+
+
+def committed_transactions(
+        records: Iterator[WalRecord]
+) -> List[Tuple[int, List[Tuple[int, int, int]]]]:
+    """Fold a record stream into committed transactions, in commit order.
+
+    Returns ``[(txn_id, [(lba, new_ppa, old_ppa), ...]), ...]``; map
+    updates without a commit record (the crash window) are discarded —
+    that is exactly the WAL's atomicity guarantee.
+    """
+    pending: dict[int, List[Tuple[int, int, int]]] = {}
+    committed: List[Tuple[int, List[Tuple[int, int, int]]]] = []
+    for record in records:
+        if record.rtype == serial.REC_MAP_UPDATE:
+            txn_id, entries = serial.decode_map_update(record.body)
+            pending.setdefault(txn_id, []).extend(entries)
+        elif record.rtype == serial.REC_COMMIT:
+            txn_id = serial.decode_commit(record.body)
+            if txn_id in pending:
+                committed.append((txn_id, pending.pop(txn_id)))
+    return committed

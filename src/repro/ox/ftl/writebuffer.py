@@ -1,0 +1,115 @@
+"""The FTL write buffer.
+
+"Data copies are necessary on the write path, as writes are buffered in
+order to support write-back semantics and to deal with the constraints
+imposed on flash (e.g., large unit of write)" (§4.3).  Sectors accumulate
+here, pre-assigned to their final physical addresses, until a whole
+``ws_min`` unit for some chunk is complete and can be submitted as one
+vector write.  Reads consult the buffer first so buffered data is always
+visible (read-your-writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FTLError
+from repro.ocssd.address import Ppa
+
+ChunkKey = Tuple[int, int, int]
+
+# OOB marker for padding sectors (no owning LBA).
+PAD_LBA = 2**64 - 1
+
+
+@dataclass
+class PendingUnit:
+    """One write unit being assembled for a chunk."""
+
+    key: ChunkKey
+    first_sector: int
+    ppas: List[Ppa] = field(default_factory=list)
+    data: List[bytes] = field(default_factory=list)
+    lbas: List[int] = field(default_factory=list)
+
+
+class WriteBuffer:
+    """Staging area between the FTL write path and the device."""
+
+    def __init__(self, ws_min: int, sector_size: int):
+        self.ws_min = ws_min
+        self.sector_size = sector_size
+        self._units: Dict[Tuple[ChunkKey, int], PendingUnit] = {}
+        # lba -> (sequence, payload); kept until the covering unit's device
+        # write completes, so concurrent reads never miss buffered data.
+        self._readable: Dict[int, Tuple[int, bytes]] = {}
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return sum(len(unit.ppas) for unit in self._units.values())
+
+    # -- staging --------------------------------------------------------------
+
+    def stage(self, lba: int, ppa: Ppa, data: bytes) -> Optional[PendingUnit]:
+        """Add one sector; returns the completed unit if this filled one."""
+        if len(data) > self.sector_size:
+            raise FTLError(
+                f"payload of {len(data)} bytes exceeds sector size "
+                f"{self.sector_size}")
+        unit_start = (ppa.sector // self.ws_min) * self.ws_min
+        slot = (ppa.chunk_key(), unit_start)
+        unit = self._units.get(slot)
+        if unit is None:
+            unit = PendingUnit(key=ppa.chunk_key(), first_sector=unit_start)
+            self._units[slot] = unit
+        expected = unit.first_sector + len(unit.ppas)
+        if ppa.sector != expected:
+            raise FTLError(
+                f"staged sector {ppa.sector} out of order in unit "
+                f"{slot} (expected {expected})")
+        unit.ppas.append(ppa)
+        unit.data.append(data)
+        unit.lbas.append(lba)
+        self._sequence += 1
+        if lba != PAD_LBA:
+            self._readable[lba] = (self._sequence, data)
+        if len(unit.ppas) == self.ws_min:
+            del self._units[slot]
+            return unit
+        return None
+
+    def partial_units(self) -> List[PendingUnit]:
+        """The units still being assembled (for forced flush padding)."""
+        return list(self._units.values())
+
+    def take_partial_units(self) -> List[PendingUnit]:
+        units = list(self._units.values())
+        self._units.clear()
+        return units
+
+    # -- read-your-writes -------------------------------------------------------
+
+    def lookup(self, lba: int) -> Optional[bytes]:
+        entry = self._readable.get(lba)
+        return entry[1] if entry else None
+
+    def mark_written(self, unit: PendingUnit) -> None:
+        """Called when the unit's device write completed: drop read-shadow
+        entries that this unit was the latest writer of."""
+        for lba, data in zip(unit.lbas, unit.data):
+            if lba == PAD_LBA:
+                continue
+            entry = self._readable.get(lba)
+            if entry is not None and entry[1] is data:
+                del self._readable[lba]
+
+    def discard(self, lba: int) -> None:
+        """Stop exposing *lba* from the buffer (trim): the staged sector
+        still reaches media as part of its unit, but as dead data."""
+        self._readable.pop(lba, None)
+
+    def drop_all(self) -> None:
+        """Crash: all buffered state is gone."""
+        self._units.clear()
+        self._readable.clear()

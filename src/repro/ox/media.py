@@ -1,0 +1,100 @@
+"""The OX media manager: the bottom OX layer (§4.1).
+
+"The bottom layer focuses on media management, it is responsible for
+abstracting various forms of underlying storage media under a common
+representation of the physical address space."  Here the one media type is
+the simulated Open-Channel SSD; the media manager exposes a narrow,
+FTL-facing API (vector I/O, reset, copy, flush, chunk scans, notification
+drain) plus both generator (in-simulation) and synchronous entry points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import MediaError
+from repro.ocssd.address import Ppa
+from repro.ocssd.commands import (
+    ChunkReset,
+    Completion,
+    VectorCopy,
+    VectorRead,
+    VectorWrite,
+)
+from repro.ocssd.device import ChunkDescriptor, ChunkNotification, OpenChannelSSD
+from repro.ocssd.geometry import DeviceGeometry
+
+
+class MediaManager:
+    """FTL-facing facade over one Open-Channel SSD."""
+
+    def __init__(self, device: OpenChannelSSD):
+        self.device = device
+        self.sim = device.sim
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        return self.device.report_geometry()
+
+    # -- generator API (for use inside simulation processes) --------------------
+
+    def write_proc(self, ppas: List[Ppa], data: List[Optional[bytes]],
+                   oob: Optional[List[object]] = None, fua: bool = False):
+        completion = yield from self.device.submit(
+            VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua))
+        return completion
+
+    def read_proc(self, ppas: List[Ppa]):
+        completion = yield from self.device.submit(VectorRead(ppas=ppas))
+        return completion
+
+    def reset_proc(self, ppa: Ppa):
+        completion = yield from self.device.submit(ChunkReset(ppa=ppa))
+        return completion
+
+    def copy_proc(self, src: List[Ppa], dst: List[Ppa]):
+        completion = yield from self.device.submit(VectorCopy(src=src, dst=dst))
+        return completion
+
+    def flush_proc(self):
+        yield from self.device.flush_proc()
+
+    # -- synchronous API ----------------------------------------------------------
+
+    def write(self, ppas: List[Ppa], data: List[Optional[bytes]],
+              oob: Optional[List[object]] = None,
+              fua: bool = False) -> Completion:
+        return self.device.write(ppas, data, oob=oob, fua=fua)
+
+    def read(self, ppas: List[Ppa]) -> Completion:
+        return self.device.read(ppas)
+
+    def reset(self, ppa: Ppa) -> Completion:
+        return self.device.reset(ppa)
+
+    def copy(self, src: List[Ppa], dst: List[Ppa]) -> Completion:
+        return self.device.copy(src, dst)
+
+    def flush(self) -> None:
+        self.device.flush()
+
+    # -- metadata / management -------------------------------------------------------
+
+    def chunk_info(self, ppa: Ppa) -> ChunkDescriptor:
+        return self.device.chunk_info(ppa)
+
+    def scan_chunks(self) -> List[ChunkDescriptor]:
+        """Full chunk-descriptor scan, used by recovery to rebuild the
+        provisioner's view of the physical space."""
+        return list(self.device.iter_chunk_info())
+
+    def pop_notifications(self) -> List[ChunkNotification]:
+        return self.device.pop_notifications()
+
+    def require_ok(self, completion: Completion, context: str) -> Completion:
+        """Raise :class:`MediaError` unless *completion* succeeded."""
+        if not completion.ok:
+            raise MediaError(
+                f"{context}: {completion.status.value}"
+                + (f" ({completion.error})" if completion.error else ""))
+        return completion

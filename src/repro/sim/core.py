@@ -1,0 +1,356 @@
+"""The discrete-event simulation core: events, processes and the scheduler.
+
+Design notes
+------------
+* Time is a float (seconds).  The event queue is a heap ordered by
+  ``(time, sequence)``; the sequence number makes execution order fully
+  deterministic for events scheduled at the same instant.
+* Processes are plain Python generators.  A process yields :class:`Event`
+  objects (timeouts, resource requests, other processes) and is resumed with
+  the event's value once the event triggers, mirroring simpy's protocol.
+* An event is *triggered* when its outcome is decided and *processed* once
+  its callbacks have run inside the event loop.  The distinction matters for
+  :class:`Timeout`, which is triggered at creation but only processed after
+  its delay elapses.
+* There is deliberately no wall-clock anywhere: a simulation run is a pure
+  function of its inputs, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    Used by the failure-injection machinery (e.g. simulating ``kill -9`` of
+    the OX process): the interrupt carries a ``cause`` describing why the
+    process was killed.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts untriggered; calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once.  Callbacks run when the scheduler processes
+    the event, at the simulation time it was triggered for.
+    """
+
+    __slots__ = ("sim", "value", "_callbacks", "_triggered", "_processed",
+                 "_ok", "_defused", "abandon_callback")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self._ok = True
+        self._defused = False
+        # Resources set this so an interrupted waiter can hand back
+        # whatever the event would have granted (see Process.interrupt).
+        self.abandon_callback: Optional[Callable[["Event"], None]] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters with *value*."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive *exc* as a throw."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(ok=False, value=exc)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event is processed.
+
+        Registering on an already-processed event schedules the callback at
+        the current simulation time, so it still runs inside the event loop.
+        """
+        if self._processed:
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator does not crash."""
+        self._defused = True
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = ok
+        self.value = value
+        self.sim._schedule_event(self)
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self._defused and not callbacks:
+            # A failure nobody waited for must not vanish silently.
+            raise self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("processed" if self._processed
+                 else "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that is processed automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self.value = value
+        sim._schedule_event(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator.  As an :class:`Event` it triggers when the
+    generator returns (value = the generator's return value) or raises
+    (the failure propagates to any process joining on it)."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        self._waiting_on: Optional[Event] = bootstrap
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Any event the process was waiting on is abandoned (a later wake-up
+        from it is ignored); if that event carries an ``abandon_callback``
+        — a resource grant, for instance — it is invoked so the resource
+        can reclaim the unit.  Interrupting a finished process is a no-op,
+        matching ``kill`` on an exited pid.
+        """
+        if self._triggered:
+            return
+        abandoned = self._waiting_on
+        self._waiting_on = None
+        if abandoned is not None and abandoned.abandon_callback is not None:
+            abandoned.abandon_callback(abandoned)
+
+        def deliver() -> None:
+            if self._triggered:
+                return
+            self._advance(lambda: self._generator.throw(Interrupt(cause)))
+
+        self.sim._schedule_call(deliver)
+
+    # -- generator driving ------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered or event is not self._waiting_on:
+            if not event.ok:
+                event.defuse()
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._advance(lambda: self._generator.send(event.value))
+        else:
+            event.defuse()
+            exc = event.value
+            self._advance(lambda: self._generator.throw(exc))
+
+    def _advance(self, step: Callable[[], Any]) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of pending work."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Any]] = []
+        self._sequence = 0
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process driving *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds once every event in *events* has succeeded.
+
+        Its value is the list of the constituent events' values, in input
+        order.  The first failure fails the aggregate immediately.
+        """
+        events = list(events)
+        done = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+
+        def on_trigger(event: Event) -> None:
+            nonlocal remaining
+            if done.triggered:
+                if not event.ok:
+                    event.defuse()
+                return
+            if not event.ok:
+                event.defuse()
+                done.fail(event.value)
+                return
+            remaining -= 1
+            if remaining == 0:
+                done.succeed([e.value for e in events])
+
+        for event in events:
+            event.add_callback(on_trigger)
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when the first of *events* does.
+
+        Its value is the ``(index, value)`` pair of the winning event.
+        """
+        events = list(events)
+        if not events:
+            raise SimulationError("any_of() requires at least one event")
+        done = self.event()
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_trigger(event: Event) -> None:
+                if done.triggered:
+                    if not event.ok:
+                        event.defuse()
+                    return
+                if not event.ok:
+                    event.defuse()
+                    done.fail(event.value)
+                    return
+                done.succeed((index, event.value))
+            return on_trigger
+
+        for index, event in enumerate(events):
+            event.add_callback(make_callback(index))
+        return done
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def _schedule_call(self, callback: Callable[[], None],
+                       delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue,
+                       (self.now + delay, self._sequence, callback))
+
+    # -- running -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next entry in the event queue."""
+        when, __, entry = heapq.heappop(self._queue)
+        self.now = when
+        if isinstance(entry, Event):
+            entry._run_callbacks()
+        else:
+            entry()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until simulated time *until*.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` even
+        if the last event fires earlier, so back-to-back ``run(until=...)``
+        calls observe a monotone clock.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until {until}; clock is already at {self.now}")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until(self, event: Event) -> Any:
+        """Run until *event* is processed; return its value, raising if the
+        event failed."""
+        while not event._processed:
+            if not self._queue:
+                raise SimulationError(
+                    "simulation deadlocked: event queue empty but the "
+                    "awaited event never triggered")
+            self.step()
+        if not event.ok:
+            event.defuse()
+            raise event.value
+        return event.value

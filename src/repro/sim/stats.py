@@ -1,0 +1,142 @@
+"""Measurement primitives: throughput time series, latency, utilization.
+
+These are the instruments behind the paper's figures: Figure 6 is a
+throughput-vs-time series (:class:`ThroughputRecorder`), Figure 7 is a CPU
+utilization measurement (:class:`UtilizationTracker`), and the GC-locality
+experiment relies on latency observations (:class:`LatencyRecorder`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.sim.core import Simulator
+
+
+class Counter:
+    """A named monotonically-increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class ThroughputRecorder:
+    """Buckets completion events into fixed-width time windows.
+
+    ``record(now)`` adds one operation at simulated time *now*; ``series()``
+    yields ``(window_start_time, ops_per_second)`` pairs, which is exactly
+    the shape of the Figure 6 curves.
+    """
+
+    def __init__(self, window: float = 1.0):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._buckets: dict[int, int] = {}
+        self.total = 0
+
+    def record(self, now: float, count: int = 1) -> None:
+        index = int(now / self.window)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.total += count
+
+    def series(self) -> List[Tuple[float, float]]:
+        """Return ``(time, ops/sec)`` points covering every window from the
+        first to the last recorded one (empty windows report 0)."""
+        if not self._buckets:
+            return []
+        first = min(self._buckets)
+        last = max(self._buckets)
+        return [(index * self.window,
+                 self._buckets.get(index, 0) / self.window)
+                for index in range(first, last + 1)]
+
+    def average(self, elapsed: float) -> float:
+        """Average ops/sec over *elapsed* seconds of simulated time."""
+        if elapsed <= 0:
+            return 0.0
+        return self.total / elapsed
+
+
+class LatencyRecorder:
+    """Collects individual latency samples and summarizes them."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self._samples.append(latency)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        self._samples.extend(latencies)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; *q* in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+
+class UtilizationTracker:
+    """Integrates the busy time of a unit with explicit begin/end marks.
+
+    Unlike :class:`repro.sim.resources.Resource` (busy when *any* unit is in
+    use) this tracks the aggregate of *n* units — e.g. total CPU-seconds
+    consumed across the cores of the DFC controller — so utilization can
+    exceed the time axis and is reported against ``capacity * elapsed``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._busy_seconds = 0.0
+        self._started = sim.now
+
+    def add_busy(self, seconds: float) -> None:
+        """Account *seconds* of busy time (CPU-seconds, bus-seconds, ...)."""
+        if seconds < 0:
+            raise ValueError(f"negative busy time: {seconds}")
+        self._busy_seconds += seconds
+
+    def busy_seconds(self) -> float:
+        return self._busy_seconds
+
+    def reset(self) -> None:
+        """Restart the measurement window at the current simulated time."""
+        self._busy_seconds = 0.0
+        self._started = self.sim.now
+
+    def utilization(self) -> float:
+        """Busy fraction of the available ``capacity * elapsed`` budget."""
+        elapsed = self.sim.now - self._started
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_seconds / (self.capacity * elapsed))

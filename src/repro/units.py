@@ -1,0 +1,38 @@
+"""Size and time units used throughout the library.
+
+Simulated time is measured in **seconds** (floats).  NAND latencies in the
+literature are quoted in microseconds; use the ``US``/``MS`` constants to
+convert at the point of declaration so that magic numbers never appear in
+timing code.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count with a binary-unit suffix (e.g. ``96.0 KiB``)."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.1f} {suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration using the most natural unit (us/ms/s)."""
+    if seconds < 1e-3:
+        return f"{seconds / US:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.2f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,13 @@
+"""Workload generators for the benchmarks."""
+
+from repro.workloads.generators import (
+    KeyValueGenerator,
+    RandomWriteWorkload,
+    ZipfianKeyChooser,
+)
+
+__all__ = [
+    "KeyValueGenerator",
+    "RandomWriteWorkload",
+    "ZipfianKeyChooser",
+]

@@ -1,0 +1,97 @@
+"""Deterministic workload generators.
+
+* :class:`KeyValueGenerator` — db_bench-style keys/values.
+* :class:`RandomWriteWorkload` — the Figure 3 driver: "random writes of up
+  to 1 MB in size; each of these writes is a transaction".
+* :class:`ZipfianKeyChooser` — skewed key popularity for ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.units import KIB, MIB
+
+
+class KeyValueGenerator:
+    """Fixed-size keys and values, deterministic per index."""
+
+    def __init__(self, key_size: int = 16, value_size: int = 1024):
+        if key_size < 4:
+            raise ValueError(f"key_size must be >= 4, got {key_size}")
+        self.key_size = key_size
+        self.value_size = value_size
+
+    def key(self, index: int) -> bytes:
+        return str(index).zfill(self.key_size).encode()
+
+    def value(self, index: int) -> bytes:
+        return bytes([33 + (index * 31) % 90]) * self.value_size
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One transactional random write."""
+
+    lba: int
+    num_sectors: int
+    fill: int
+
+    def payload(self, sector_size: int) -> bytes:
+        return bytes([self.fill]) * (self.num_sectors * sector_size)
+
+
+class RandomWriteWorkload:
+    """Random writes up to ``max_bytes`` over an LBA space (Figure 3)."""
+
+    def __init__(self, lba_space: int, sector_size: int = 4096,
+                 min_bytes: int = 4 * KIB, max_bytes: int = 1 * MIB,
+                 seed: int = 0):
+        if lba_space < max_bytes // sector_size:
+            raise ValueError("LBA space smaller than the largest write")
+        self.lba_space = lba_space
+        self.sector_size = sector_size
+        self.min_sectors = max(1, min_bytes // sector_size)
+        self.max_sectors = max(self.min_sectors, max_bytes // sector_size)
+        self.seed = seed
+
+    def operations(self, count: int = 0) -> Iterator[WriteOp]:
+        """Yield *count* operations (infinite when count == 0)."""
+        rng = random.Random(self.seed)
+        produced = 0
+        while not count or produced < count:
+            num_sectors = rng.randint(self.min_sectors, self.max_sectors)
+            lba = rng.randrange(0, self.lba_space - num_sectors + 1)
+            yield WriteOp(lba=lba, num_sectors=num_sectors,
+                          fill=rng.randrange(1, 251))
+            produced += 1
+
+
+class ZipfianKeyChooser:
+    """Zipf-distributed key indexes (precomputed CDF, deterministic)."""
+
+    def __init__(self, key_space: int, theta: float = 0.99, seed: int = 0):
+        if key_space < 1:
+            raise ValueError(f"key_space must be >= 1, got {key_space}")
+        if not 0 < theta < 2:
+            raise ValueError(f"theta must be in (0, 2), got {theta}")
+        self.key_space = key_space
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank ** theta)
+                   for rank in range(1, key_space + 1)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+
+    def next(self) -> int:
+        import bisect
+        point = self._rng.random()
+        return bisect.bisect_left(self._cdf, point)
+
+    def sample(self, count: int) -> List[int]:
+        return [self.next() for __ in range(count)]

@@ -1,0 +1,241 @@
+"""OX-ZNS: the ZNS application-specific FTL.
+
+Zones are fixed-size append regions; each zone is backed by a set of
+whole chunks striped across the parallel units of one group (zones rotate
+groups, so concurrently-open zones exercise disjoint channels — the
+device-side placement freedom ZNS gives the FTL).  The host API is the
+NVMe ZNS shape:
+
+* ``report_zones()`` — zone descriptors;
+* ``append(zone_id, data)`` — sequential write at the zone's pointer,
+  returns the LBA the data landed on;
+* ``read(lba, sectors)``;
+* ``reset_zone(zone_id)`` — chunk erases;
+* ``finish_zone(zone_id)`` — pad and close.
+
+The FTL owns wear: resets route through the chunks, and a zone whose
+chunk goes offline is retired with its notification surfaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ZoneError
+from repro.ocssd.address import Ppa
+from repro.ox.media import MediaManager
+from repro.zns.zone import Zone, ZoneState
+
+ChunkKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ZnsConfig:
+    """Zone sizing: chunks per zone (striped within one group)."""
+
+    chunks_per_zone: int = 4
+    max_open_zones: int = 8
+
+
+@dataclass
+class ZnsStats:
+    appends: int = 0
+    sectors_appended: int = 0
+    sectors_read: int = 0
+    zone_resets: int = 0
+    zones_finished: int = 0
+    zones_retired: int = 0
+
+
+class OXZns:
+    """A ZNS namespace over one Open-Channel SSD."""
+
+    def __init__(self, media: MediaManager,
+                 config: Optional[ZnsConfig] = None):
+        self.media = media
+        self.sim = media.sim
+        self.geometry = media.geometry
+        self.config = config or ZnsConfig()
+        per_zone = self.config.chunks_per_zone
+        if per_zone < 1 or per_zone > self.geometry.pus_per_group \
+                * self.geometry.chunks_per_pu:
+            raise ZoneError(f"chunks_per_zone={per_zone} does not fit a group")
+        self.zone_capacity = per_zone * self.geometry.sectors_per_chunk
+        self.zones: List[Zone] = []
+        self._open_count = 0
+        self.stats = ZnsStats()
+        self._build_zones()
+
+    def _build_zones(self) -> None:
+        """Carve the whole device into zones, group by group; each zone's
+        chunks stripe across the PUs of its group."""
+        per_zone = self.config.chunks_per_zone
+        zone_id = 0
+        for group in range(self.geometry.num_groups):
+            pool = [(group, pu, chunk)
+                    for chunk in range(self.geometry.chunks_per_pu)
+                    for pu in range(self.geometry.pus_per_group)]
+            for start in range(0, len(pool) - per_zone + 1, per_zone):
+                chunks = pool[start:start + per_zone]
+                self.zones.append(Zone(zone_id=zone_id,
+                                       capacity=self.zone_capacity,
+                                       chunks=chunks))
+                zone_id += 1
+
+    # -- admin ---------------------------------------------------------------------
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    def report_zones(self) -> List[Zone]:
+        return list(self.zones)
+
+    def zone(self, zone_id: int) -> Zone:
+        if not 0 <= zone_id < len(self.zones):
+            raise ZoneError(f"zone {zone_id} out of range")
+        return self.zones[zone_id]
+
+    # -- data path -----------------------------------------------------------------
+
+    def append(self, zone_id: int, data: bytes) -> int:
+        return self.sim.run_until(self.sim.spawn(
+            self.append_proc(zone_id, data)))
+
+    def append_proc(self, zone_id: int, data: bytes):
+        """Zone append; returns the starting LBA of the written data.
+
+        Data must be a whole number of sectors; the FTL pads internally to
+        the device write unit, so the host never sees ``ws_min`` (that is
+        the complexity ZNS hides, §2.3).
+        """
+        zone = self.zone(zone_id)
+        sector_size = self.geometry.sector_size
+        if not data or len(data) % sector_size:
+            raise ZoneError(
+                f"append of {len(data)} bytes is not sector-aligned")
+        sectors = len(data) // sector_size
+        zone.check_append(sectors)
+        if zone.state is ZoneState.EMPTY:
+            if self._open_count >= self.config.max_open_zones:
+                raise ZoneError(
+                    f"too many open zones (max "
+                    f"{self.config.max_open_zones})")
+            self._open_count += 1
+        start_lba = zone.start_lba + zone.write_pointer
+
+        ws_min = self.geometry.ws_min
+        offset = zone.write_pointer
+        remaining = sectors
+        data_offset = 0
+        procs = []
+        while remaining > 0:
+            chunk_index, in_chunk = self._locate(zone, offset)
+            room = self.geometry.sectors_per_chunk - in_chunk
+            count = min(remaining, room)
+            # Pad the tail of the append to a whole write unit; padding
+            # sectors advance the physical pointer but not the zone's.
+            padded = count + ((-count) % ws_min) \
+                if count == remaining else count
+            padded = min(padded, room)
+            key = zone.chunks[chunk_index]
+            ppas = [Ppa(*key, in_chunk + i) for i in range(padded)]
+            payloads = []
+            for i in range(padded):
+                if i < count:
+                    begin = (data_offset + i) * sector_size
+                    payloads.append(data[begin:begin + sector_size])
+                else:
+                    payloads.append(b"")
+            oob = [("zns", zone_id, offset + i if i < count else -1)
+                   for i in range(padded)]
+            procs.append(self.sim.spawn(
+                self.media.write_proc(ppas, payloads, oob=oob)))
+            offset += padded
+            data_offset += count
+            remaining -= count
+        completions = yield self.sim.all_of(procs)
+        for completion in completions:
+            self.media.require_ok(completion, f"zone {zone_id} append")
+        # Physical pointer may have advanced past the logical one due to
+        # padding: account the padding into the zone as consumed capacity.
+        zone.advance(offset - zone.write_pointer)
+        if zone.state is ZoneState.FULL:
+            self._open_count -= 1
+        self.stats.appends += 1
+        self.stats.sectors_appended += sectors
+        return start_lba
+
+    def read(self, lba: int, sectors: int = 1) -> bytes:
+        return self.sim.run_until(self.sim.spawn(
+            self.read_proc(lba, sectors)))
+
+    def read_proc(self, lba: int, sectors: int = 1):
+        zone_id, offset = divmod(lba, self.zone_capacity)
+        zone = self.zone(zone_id)
+        zone.check_read(offset, sectors)
+        sector_size = self.geometry.sector_size
+        ppas = []
+        for i in range(sectors):
+            chunk_index, in_chunk = self._locate(zone, offset + i)
+            ppas.append(Ppa(*zone.chunks[chunk_index], in_chunk))
+        completion = yield from self.media.read_proc(ppas)
+        self.media.require_ok(completion, f"zone {zone_id} read")
+        self.stats.sectors_read += sectors
+        return b"".join((payload or b"").ljust(sector_size, b"\x00")
+                        for payload in completion.data)
+
+    def reset_zone(self, zone_id: int) -> None:
+        self.sim.run_until(self.sim.spawn(self.reset_zone_proc(zone_id)))
+
+    def reset_zone_proc(self, zone_id: int):
+        zone = self.zone(zone_id)
+        was_open = zone.state is ZoneState.OPEN
+        zone.reset()   # validates state first
+        yield from self.media.flush_proc()
+        failed = False
+        for key in zone.chunks:
+            info = self.media.chunk_info(Ppa(*key, 0))
+            if info.write_pointer == 0 and info.state.value == "free":
+                continue
+            completion = yield from self.media.reset_proc(Ppa(*key, 0))
+            if not completion.ok:
+                failed = True
+        if was_open:
+            self._open_count -= 1
+        if failed:
+            zone.retire()
+            self.stats.zones_retired += 1
+            raise ZoneError(f"zone {zone_id} retired: chunk reset failed")
+        self.stats.zone_resets += 1
+
+    def finish_zone(self, zone_id: int) -> None:
+        self.sim.run_until(self.sim.spawn(self.finish_zone_proc(zone_id)))
+
+    def finish_zone_proc(self, zone_id: int):
+        """Close a zone early: its unwritten tail becomes unusable until
+        the next reset (NVMe ZNS 'finish')."""
+        zone = self.zone(zone_id)
+        if zone.state is ZoneState.FULL:
+            return
+        if zone.state is ZoneState.OFFLINE:
+            raise ZoneError(f"finish of offline zone {zone_id}")
+        if zone.state is ZoneState.OPEN:
+            self._open_count -= 1
+        zone.write_pointer = zone.capacity
+        zone.state = ZoneState.FULL
+        self.stats.zones_finished += 1
+        return
+        yield  # pragma: no cover - generator marker
+
+    # -- internals ------------------------------------------------------------------
+
+    def _locate(self, zone: Zone, offset: int) -> Tuple[int, int]:
+        """Zone offset -> (chunk index, sector within chunk).
+
+        Zones fill chunk by chunk (each chunk is written sequentially, as
+        the device demands); chunks of a zone sit on distinct PUs, so
+        multiple open zones and large appends still parallelize.
+        """
+        return divmod(offset, self.geometry.sectors_per_chunk)

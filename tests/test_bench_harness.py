@@ -1,0 +1,54 @@
+"""Guard rails for the benchmark harness itself.
+
+A misconfigured collection pattern once made ``pytest benchmarks/
+--benchmark-only`` silently collect nothing; these tests pin the harness
+shape so that regression stays caught.
+"""
+
+import os
+import subprocess
+import sys
+
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks")
+
+EXPECTED_BENCHES = {
+    "bench_fig1_landscape.py",
+    "bench_unit_of_write.py",
+    "bench_fig3_recovery.py",
+    "bench_fig5_dbbench.py",
+    "bench_fig6_timeline.py",
+    "bench_fig7_copies.py",
+    "bench_gc_locality.py",
+    "bench_ablations.py",
+    "bench_abstraction_spectrum.py",
+}
+
+
+def test_every_figure_has_a_bench_file():
+    present = {name for name in os.listdir(BENCH_DIR)
+               if name.startswith("bench_")}
+    assert EXPECTED_BENCHES <= present
+
+
+def test_benchmark_directory_collects():
+    """`pytest benchmarks/` must actually find the bench functions."""
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", BENCH_DIR, "--collect-only", "-q"],
+        capture_output=True, text=True, timeout=120,
+        cwd=os.path.dirname(BENCH_DIR))
+    assert result.returncode == 0, result.stderr
+    # At least one collected test per bench group.
+    assert "no tests ran" not in result.stdout
+    total_line = [line for line in result.stdout.splitlines()
+                  if "bench_" in line]
+    assert len(total_line) >= len(EXPECTED_BENCHES)
+
+
+def test_bench_modules_import_cleanly():
+    import importlib.util
+    for name in sorted(EXPECTED_BENCHES):
+        path = os.path.join(BENCH_DIR, name)
+        spec = importlib.util.spec_from_file_location(name[:-3], path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)

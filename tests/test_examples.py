@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  (The slow Figure-3 miniature is exercised at a reduced
+scale by the benchmarks instead.)"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True, text=True, timeout=420)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "recovered in" in out
+    assert "hello open-channel world" in out
+
+
+def test_kv_store_lightlsm():
+    out = run_example("kv_store_lightlsm.py")
+    assert "horizontal placement" in out
+    assert "vertical placement" in out
+    assert "reopened without MANIFEST" in out
+
+
+def test_log_structured_eleos():
+    out = run_example("log_structured_eleos.py")
+    assert "cleaner freed segment" in out
+    assert "recovered after crash" in out
+
+
+def test_zns_port():
+    out = run_example("zns_port.py")
+    assert "zone states" in out
+    assert "reclaimed zone" in out
+
+
+def test_landscape_tour():
+    out = run_example("landscape_tour.py")
+    assert "REJECTED" in out
+    assert "COMPLIES" in out
+    assert "OX-Block" in out

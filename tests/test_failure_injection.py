@@ -1,0 +1,121 @@
+"""Failure injection: grown bad blocks, program failures, wear-out.
+
+Bad-media management is the device's job (§2.2), but the FTL must react
+to the asynchronous error reports: retire chunks, drop lost mappings,
+and keep serving everything else.
+"""
+
+import pytest
+
+from repro.errors import MediaError
+from repro.nand import CellType, FlashGeometry, WearModel
+from repro.ocssd import (
+    ChunkState,
+    CommandStatus,
+    DeviceGeometry,
+    OpenChannelSSD,
+    Ppa,
+)
+from repro.ox import BlockConfig, MediaManager, OXBlock
+from repro.ox.ftl.metadata import FtlChunkState
+
+SS = 4096
+
+
+def geometry(groups=2, pus=2, chunks=12, pages=6):
+    return DeviceGeometry(
+        num_groups=groups, pus_per_group=pus,
+        flash=FlashGeometry(blocks_per_plane=chunks, pages_per_block=pages))
+
+
+class TestDeviceFailures:
+    def test_every_erase_fails_with_prob_one(self):
+        device = OpenChannelSSD(geometry=geometry(), grown_fail_prob=1.0)
+        completion = device.reset(Ppa(0, 0, 0, 0))
+        assert completion.status is CommandStatus.RESET_FAILED
+        assert device.chunk_info(Ppa(0, 0, 0, 0)).state is ChunkState.OFFLINE
+        notes = device.pop_notifications()
+        assert notes and notes[0].kind == "reset-failed"
+
+    def test_worn_out_chunk_fails_erase(self):
+        device = OpenChannelSSD(geometry=geometry())
+        chip = device.chips[(0, 0)]
+        chip.blocks[0].erase_count = chip.wear.endurance
+        completion = device.reset(Ppa(0, 0, 0, 0))
+        assert completion.status is CommandStatus.RESET_FAILED
+
+    def test_async_program_failure_notification(self):
+        """Write-back: the command succeeds, the failure arrives later."""
+        from repro.nand.chip import BlockState
+        device = OpenChannelSSD(geometry=geometry())
+        chip = device.chips[(0, 0)]
+        ws = device.report_geometry().ws_min
+        ppas = [Ppa(0, 0, 1, s) for s in range(ws)]
+        # The chip-level block is broken, but the chunk looks writable:
+        # admission succeeds, the background program fails.
+        chip.blocks[1].state = BlockState.BAD
+        completion = device.write(ppas, [b"x" * 16] * ws)
+        assert completion.ok
+        device.sim.run()
+        notes = device.pop_notifications()
+        assert any(note.kind == "write-failed" for note in notes)
+        assert device.chunk_info(ppas[0]).state is ChunkState.OFFLINE
+
+    def test_wear_follows_resets(self):
+        device = OpenChannelSSD(geometry=geometry())
+        ws = device.report_geometry().ws_min
+        target = Ppa(1, 1, 3, 0)
+        for cycle in range(1, 4):
+            device.write([target.with_sector(s) for s in range(ws)],
+                         [b"w" * 8] * ws)
+            device.flush()
+            assert device.reset(target).ok
+            assert device.chunk_info(target).wear_index == cycle
+
+
+class TestFtlBadBlockHandling:
+    def make_ftl(self, grown_fail_prob=0.0):
+        device = OpenChannelSSD(geometry=geometry(chunks=16),
+                                grown_fail_prob=grown_fail_prob,
+                                wear_seed=99)
+        # Keep the metadata region (group 0, where WAL and checkpoint
+        # slots live) reliable, as a real deployment would by placing
+        # metadata on an SLC-mode region: failures hit data chunks only.
+        for pu in range(2):
+            device.chips[(0, pu)].wear = WearModel(
+                cell=CellType.TLC, grown_fail_prob=0.0)
+        media = MediaManager(device)
+        config = BlockConfig(wal_chunk_count=2, ckpt_chunks_per_slot=1,
+                             gc_enabled=False)
+        return device, media, OXBlock.format(media, config)
+
+    def test_retired_chunk_leaves_provisioner(self):
+        device, media, ftl = self.make_ftl()
+        ws = device.report_geometry().ws_min
+        ftl.write(0, b"a" * SS * ws)     # full unit -> lands on a chunk
+        linear = ftl.page_map.lookup(0)
+        key = ftl.geometry.delinearize(linear).chunk_key()
+        # Simulate an async failure report for that chunk.
+        device._notify(Ppa(*key, 0), "write-failed", "injected")
+        ftl.write(1000, b"b" * SS * ws)  # absorbs notifications
+        info = ftl.chunk_table.get(key)
+        assert info.state is FtlChunkState.BAD
+        assert ftl.stats.chunks_retired == 1
+        assert ftl.stats.sectors_lost >= 1
+        # Lost sectors read as zeroes, not I/O errors.
+        assert ftl.read(0, 1) == b"\x00" * SS
+        # Unaffected data is still there.
+        assert ftl.read(1000, 1) == b"b" * SS
+
+    def test_survives_sustained_grown_failures(self):
+        """With a small grown-failure probability the FTL keeps running:
+        failed chunks retire, the rest of the workload completes."""
+        device, media, ftl = self.make_ftl(grown_fail_prob=0.05)
+        ws = device.report_geometry().ws_min
+        for round_ in range(6):
+            for lba in range(0, 4 * ws, ws):
+                ftl.write(lba, bytes([round_ + 1]) * SS * ws)
+            ftl.flush()
+        device.sim.run()
+        ftl.write(0, bytes([99]) * SS * ws)
+        assert ftl.read(0, 1) == bytes([99]) * SS

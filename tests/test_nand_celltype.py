@@ -1,0 +1,74 @@
+"""Tests for the §2.1 unit-of-write arithmetic — including the paper's two
+worked examples, which must come out exactly."""
+
+import pytest
+
+from repro.nand import (
+    CellType,
+    paired_pages,
+    unit_of_write_bytes,
+    unit_of_write_pages,
+    unit_of_write_sectors,
+)
+from repro.units import KIB
+
+
+def test_bits_per_cell():
+    assert CellType.SLC.bits_per_cell == 1
+    assert CellType.MLC.bits_per_cell == 2
+    assert CellType.TLC.bits_per_cell == 3
+    assert CellType.QLC.bits_per_cell == 4
+
+
+def test_paired_pages_match_bits():
+    for cell in CellType:
+        assert paired_pages(cell) == cell.bits_per_cell
+
+
+def test_paper_example_qlc_four_planes():
+    """§2.1: 'on a QLC chip with 4 planes ... the unit of write is 16 pages
+    = 16*4 sectors = 16*4*4KB = 256 KB'."""
+    assert unit_of_write_pages(CellType.QLC, planes=4) == 16
+    assert unit_of_write_sectors(CellType.QLC, planes=4,
+                                 sectors_per_page=4) == 64
+    assert unit_of_write_bytes(CellType.QLC, planes=4, sectors_per_page=4,
+                               sector_size=4 * KIB) == 256 * KIB
+
+
+def test_paper_example_dual_plane_tlc():
+    """§2.2: '24 logical blocks on a dual-plane TLC drive, corresponding to
+    4 (sectors per page) * 3 (paired pages) * 2 (planes)' = 96 KB."""
+    assert unit_of_write_sectors(CellType.TLC, planes=2,
+                                 sectors_per_page=4) == 24
+    assert unit_of_write_bytes(CellType.TLC, planes=2, sectors_per_page=4,
+                               sector_size=4 * KIB) == 96 * KIB
+
+
+def test_slc_single_plane_minimal_unit():
+    """SLC, 1 plane: the unit of write is a single flash page."""
+    assert unit_of_write_pages(CellType.SLC, planes=1) == 1
+    assert unit_of_write_sectors(CellType.SLC, planes=1,
+                                 sectors_per_page=4) == 4
+
+
+def test_unit_of_write_grows_with_density():
+    units = [unit_of_write_bytes(cell, planes=2, sectors_per_page=4,
+                                 sector_size=4 * KIB)
+             for cell in (CellType.SLC, CellType.MLC, CellType.TLC,
+                          CellType.QLC)]
+    assert units == sorted(units)
+    assert len(set(units)) == len(units)
+
+
+def test_invalid_plane_counts_rejected():
+    for planes in (0, 3, 5, -1):
+        with pytest.raises(ValueError):
+            unit_of_write_pages(CellType.TLC, planes=planes)
+
+
+def test_invalid_sector_parameters_rejected():
+    with pytest.raises(ValueError):
+        unit_of_write_sectors(CellType.TLC, planes=2, sectors_per_page=0)
+    with pytest.raises(ValueError):
+        unit_of_write_bytes(CellType.TLC, planes=2, sectors_per_page=4,
+                            sector_size=0)

@@ -1,0 +1,82 @@
+"""Tests for chip geometry and the NAND timing model."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.nand import CellType, FlashGeometry, NandTiming, timing_for
+from repro.units import KIB, MIB
+
+
+class TestFlashGeometry:
+    def test_default_is_dual_plane_tlc_96k_write_unit(self):
+        geometry = FlashGeometry()
+        assert geometry.cell is CellType.TLC
+        assert geometry.planes == 2
+        assert geometry.write_unit_sectors == 24
+        assert geometry.write_unit_bytes == 96 * KIB
+
+    def test_paper_figure4_chunk_size(self):
+        """Figure 4: 6144 sectors per chunk, 4 KB sectors -> 24 MB chunks."""
+        geometry = FlashGeometry(pages_per_block=768)
+        assert geometry.sectors_per_chunk == 6144
+        assert geometry.chunk_size == 24 * MIB
+
+    def test_chunk_holds_whole_write_units(self):
+        geometry = FlashGeometry()
+        assert geometry.sectors_per_chunk % geometry.write_unit_sectors == 0
+
+    def test_page_and_block_sizes(self):
+        geometry = FlashGeometry(pages_per_block=96)
+        assert geometry.page_size == 16 * KIB
+        assert geometry.block_size == 96 * 16 * KIB
+        assert geometry.chip_size == (geometry.planes
+                                      * geometry.blocks_per_plane
+                                      * geometry.block_size)
+
+    def test_unaligned_pages_per_block_rejected(self):
+        """TLC paired pages require pages_per_block % 3 == 0."""
+        with pytest.raises(GeometryError):
+            FlashGeometry(cell=CellType.TLC, pages_per_block=512)
+
+    def test_slc_any_pages_per_block_allowed(self):
+        FlashGeometry(cell=CellType.SLC, pages_per_block=511)
+
+    def test_invalid_planes_rejected(self):
+        with pytest.raises(GeometryError):
+            FlashGeometry(planes=3)
+
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(GeometryError):
+            FlashGeometry(pages_per_block=0)
+
+
+class TestNandTiming:
+    def test_presets_order_by_density(self):
+        reads = [timing_for(cell).read_latency for cell in CellType]
+        programs = [timing_for(cell).program_latency for cell in CellType]
+        erases = [timing_for(cell).erase_latency for cell in CellType]
+        assert reads == sorted(reads)
+        assert programs == sorted(programs)
+        assert erases == sorted(erases)
+
+    def test_reads_much_faster_than_programs(self):
+        for cell in CellType:
+            timing = timing_for(cell)
+            assert timing.read_latency * 5 <= timing.program_latency
+            assert timing.program_latency < timing.erase_latency
+
+    def test_transfer_time_scales_with_bytes(self):
+        timing = NandTiming(read_latency=1e-5, program_latency=1e-4,
+                            erase_latency=1e-3, channel_bandwidth=100 * MIB)
+        assert timing.transfer_time(100 * MIB) == pytest.approx(1.0)
+        assert timing.transfer_time(0) == 0.0
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            timing_for(CellType.TLC).transfer_time(-1)
+
+    def test_multi_operation_times(self):
+        timing = timing_for(CellType.TLC)
+        assert timing.read_time(4) == pytest.approx(4 * timing.read_latency)
+        assert timing.program_time(3) == pytest.approx(
+            3 * timing.program_latency)

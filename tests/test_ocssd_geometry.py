@@ -1,0 +1,104 @@
+"""Tests for PPA addressing and device geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.nand import FlashGeometry
+from repro.ocssd import DeviceGeometry, Ppa
+from repro.units import MIB
+
+
+def tiny_geometry() -> DeviceGeometry:
+    return DeviceGeometry(num_groups=2, pus_per_group=3,
+                          flash=FlashGeometry(blocks_per_plane=5,
+                                              pages_per_block=6))
+
+
+class TestPpa:
+    def test_ordering_is_hierarchical(self):
+        assert Ppa(0, 0, 0, 5) < Ppa(0, 0, 1, 0) < Ppa(0, 1, 0, 0) \
+            < Ppa(1, 0, 0, 0)
+
+    def test_chunk_address_zeroes_sector(self):
+        assert Ppa(1, 2, 3, 4).chunk_address() == Ppa(1, 2, 3, 0)
+
+    def test_chunk_key(self):
+        assert Ppa(1, 2, 3, 4).chunk_key() == (1, 2, 3)
+
+    def test_with_sector(self):
+        assert Ppa(1, 2, 3, 4).with_sector(9) == Ppa(1, 2, 3, 9)
+
+    def test_hashable(self):
+        assert len({Ppa(0, 0, 0, 0), Ppa(0, 0, 0, 0), Ppa(0, 0, 0, 1)}) == 2
+
+
+class TestDeviceGeometry:
+    def test_paper_figure4_geometry(self):
+        """Figure 4: 8 groups x 4 PUs, 6144 4KB sectors per chunk = 24 MB;
+        SSTable = #groups x #PUs x chunk size = 768 MB."""
+        geometry = DeviceGeometry(
+            num_groups=8, pus_per_group=4,
+            flash=FlashGeometry(pages_per_block=768))
+        assert geometry.chunk_size == 24 * MIB
+        assert geometry.ws_min == 24
+        sstable = geometry.num_groups * geometry.pus_per_group \
+            * geometry.chunk_size
+        assert sstable == 768 * MIB
+
+    def test_totals(self):
+        geometry = tiny_geometry()
+        assert geometry.total_pus == 6
+        assert geometry.total_chunks == 6 * 5
+        assert geometry.capacity_bytes == geometry.total_chunks \
+            * geometry.chunk_size
+
+    def test_check_rejects_out_of_range(self):
+        geometry = tiny_geometry()
+        geometry.check(Ppa(1, 2, 4, 47))
+        for bad in (Ppa(2, 0, 0, 0), Ppa(0, 3, 0, 0), Ppa(0, 0, 5, 0),
+                    Ppa(0, 0, 0, 48), Ppa(-1, 0, 0, 0)):
+            with pytest.raises(GeometryError):
+                geometry.check(bad)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(GeometryError):
+            DeviceGeometry(num_groups=0)
+        with pytest.raises(GeometryError):
+            DeviceGeometry(pus_per_group=0)
+
+    def test_iter_pus_order(self):
+        geometry = tiny_geometry()
+        pus = list(geometry.iter_pus())
+        assert pus[0] == (0, 0)
+        assert pus[-1] == (1, 2)
+        assert len(pus) == 6
+
+    def test_linearize_is_address_ordered(self):
+        geometry = tiny_geometry()
+        previous = -1
+        for group, pu in geometry.iter_pus():
+            for chunk in range(geometry.chunks_per_pu):
+                for sector in (0, geometry.sectors_per_chunk - 1):
+                    index = geometry.linearize(Ppa(group, pu, chunk, sector))
+                    assert index > previous
+                    previous = index
+
+
+@given(st.integers(0, 1), st.integers(0, 2), st.integers(0, 4),
+       st.integers(0, 47))
+def test_linearize_roundtrip(group, pu, chunk, sector):
+    geometry = tiny_geometry()
+    ppa = Ppa(group, pu, chunk, sector)
+    assert geometry.delinearize(geometry.linearize(ppa)) == ppa
+
+
+@given(st.integers())
+def test_delinearize_range_checked(index):
+    geometry = tiny_geometry()
+    total = geometry.total_chunks * geometry.sectors_per_chunk
+    if 0 <= index < total:
+        assert geometry.linearize(geometry.delinearize(index)) == index
+    else:
+        with pytest.raises(GeometryError):
+            geometry.delinearize(index)

@@ -1,0 +1,136 @@
+"""Tests for grant abandonment: interrupted waiters must not leak
+resource capacity (the bug class that deadlocked recovery after a crash
+mid-checkpoint)."""
+
+import pytest
+
+from repro.sim import Interrupt, Resource, Simulator
+
+
+def holder(sim, resource, duration):
+    grant = resource.request()
+    yield grant
+    try:
+        yield sim.timeout(duration)
+    finally:
+        resource.release()
+
+
+def test_interrupt_while_waiting_does_not_leak():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    sim.spawn(holder(sim, resource, 5.0))
+
+    def waiter(sim):
+        grant = resource.request()
+        yield grant          # never granted before the interrupt
+        resource.release()   # pragma: no cover
+
+    victim = sim.spawn(waiter(sim))
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        victim.interrupt("die")
+
+    sim.spawn(killer(sim))
+
+    # A third process must still get the resource after the holder leaves.
+    acquired = []
+
+    def third(sim):
+        yield sim.timeout(2.0)
+        grant = resource.request()
+        yield grant
+        acquired.append(sim.now)
+        resource.release()
+
+    sim.spawn(third(sim))
+    with pytest.raises(Interrupt):
+        sim.run()
+    sim.run()
+    assert acquired == [5.0]
+    assert resource.in_use == 0
+
+
+def test_interrupt_after_grant_returns_unit():
+    """Interrupt racing a grant: the unit must come back."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    first = sim.spawn(holder(sim, resource, 1.0))
+
+    granted = []
+
+    def waiter(sim):
+        grant = resource.request()
+        yield grant
+        granted.append("waiter")   # pragma: no cover
+        resource.release()
+
+    victim = sim.spawn(waiter(sim))
+
+    def killer(sim):
+        # Interrupt exactly when the holder releases (t=1.0): the grant
+        # may already be triggered but not yet consumed.
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    sim.spawn(killer(sim))
+
+    def third(sim):
+        yield sim.timeout(1.5)
+        grant = resource.request()
+        yield grant
+        granted.append("third")
+        resource.release()
+
+    sim.spawn(third(sim))
+    try:
+        sim.run()
+    except Interrupt:
+        sim.run()
+    assert "third" in granted
+    assert resource.in_use == 0
+
+
+def test_priority_requests_jump_the_queue():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def requester(sim, tag, priority, delay):
+        yield sim.timeout(delay)
+        grant = resource.request(priority)
+        yield grant
+        order.append(tag)
+        try:
+            yield sim.timeout(1.0)
+        finally:
+            resource.release()
+
+    sim.spawn(requester(sim, "holder", 0, 0.0))
+    sim.spawn(requester(sim, "bulk-1", 0, 0.1))
+    sim.spawn(requester(sim, "bulk-2", 0, 0.2))
+    sim.spawn(requester(sim, "urgent", -1, 0.3))
+    sim.run()
+    assert order == ["holder", "urgent", "bulk-1", "bulk-2"]
+
+
+def test_equal_priority_is_fifo():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def requester(sim, tag, delay):
+        yield sim.timeout(delay)
+        grant = resource.request()
+        yield grant
+        order.append(tag)
+        try:
+            yield sim.timeout(1.0)
+        finally:
+            resource.release()
+
+    for index, tag in enumerate("abcd"):
+        sim.spawn(requester(sim, tag, 0.01 * index))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]

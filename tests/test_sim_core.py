@@ -1,0 +1,280 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        return sim.now
+
+    result = sim.run_until(sim.spawn(proc(sim)))
+    assert result == 2.5
+    assert sim.now == 2.5
+
+
+def test_timeout_value_passed_to_process():
+    sim = Simulator()
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        return value
+
+    assert sim.run_until(sim.spawn(proc(sim))) == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.1)
+        return 42
+
+    assert sim.run_until(sim.spawn(proc(sim))) == 42
+
+
+def test_process_joins_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "child-done"
+
+    def parent(sim):
+        result = yield sim.spawn(child(sim))
+        return (result, sim.now)
+
+    assert sim.run_until(sim.spawn(parent(sim))) == ("child-done", 3.0)
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert sim.run_until(sim.spawn(parent(sim))) == "caught boom"
+
+
+def test_unjoined_process_failure_raises_from_run():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("unattended")
+
+    sim.spawn(child(sim))
+    with pytest.raises(ValueError, match="unattended"):
+        sim.run()
+
+
+def test_events_at_same_time_fire_in_creation_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_time_boundary():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run(until=3.0)
+    assert fired == []
+    assert sim.now == 3.0
+    sim.run(until=10.0)
+    assert fired == [5.0]
+    assert sim.now == 10.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_interrupt_wakes_waiting_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+        return "slept"
+
+    proc = sim.spawn(sleeper(sim))
+
+    def killer(sim):
+        yield sim.timeout(2.0)
+        proc.interrupt(cause="kill -9")
+
+    sim.spawn(killer(sim))
+    assert sim.run_until(proc) == ("interrupted", "kill -9", 2.0)
+
+
+def test_interrupt_abandons_original_wait():
+    """After an interrupt, the stale timeout must not resume the process."""
+    sim = Simulator()
+    resumed = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(5.0)
+            resumed.append("timeout")
+        except Interrupt:
+            yield sim.timeout(10.0)   # outlives the abandoned timeout
+            resumed.append("post-interrupt")
+
+    proc = sim.spawn(sleeper(sim))
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.spawn(killer(sim))
+    sim.run()
+    assert resumed == ["post-interrupt"]
+    assert sim.now == 11.0
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.5)
+        return "done"
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    proc.interrupt()  # must not raise
+    sim.run()
+    assert proc.value == "done"
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def proc(sim, delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def main(sim):
+        procs = [sim.spawn(proc(sim, 3.0, "slow")),
+                 sim.spawn(proc(sim, 1.0, "fast"))]
+        values = yield sim.all_of(procs)
+        return (values, sim.now)
+
+    assert sim.run_until(sim.spawn(main(sim))) == (["slow", "fast"], 3.0)
+
+
+def test_all_of_empty_completes_immediately():
+    sim = Simulator()
+
+    def main(sim):
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_until(sim.spawn(main(sim))) == []
+
+
+def test_any_of_returns_first_winner():
+    sim = Simulator()
+
+    def main(sim):
+        winner = yield sim.any_of([sim.timeout(5.0, "slow"),
+                                   sim.timeout(1.0, "fast")])
+        return (winner, sim.now)
+
+    assert sim.run_until(sim.spawn(main(sim))) == ((1, "fast"), 1.0)
+
+
+def test_event_succeed_twice_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield "not an event"
+
+    proc = sim.spawn(bad(sim))
+    with pytest.raises(SimulationError, match="may only yield"):
+        sim.run_until(proc)
+
+
+def test_deadlock_detection_in_run_until():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()  # never triggered by anyone
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until(sim.spawn(stuck(sim)))
+
+
+def test_determinism_two_identical_runs():
+    """Two simulations of the same program produce identical traces."""
+
+    def build_trace():
+        sim = Simulator()
+        trace = []
+
+        def worker(sim, tag, delay):
+            for __ in range(3):
+                yield sim.timeout(delay)
+                trace.append((tag, sim.now))
+
+        sim.spawn(worker(sim, "x", 1.0))
+        sim.spawn(worker(sim, "y", 0.7))
+        sim.run()
+        return trace
+
+    assert build_trace() == build_trace()

@@ -1,0 +1,143 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+def hold(sim, resource, duration, log, tag):
+    grant = resource.request()
+    yield grant
+    log.append(("acquired", tag, sim.now))
+    try:
+        yield sim.timeout(duration)
+    finally:
+        resource.release()
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+    sim.spawn(hold(sim, resource, 2.0, log, "a"))
+    sim.spawn(hold(sim, resource, 2.0, log, "b"))
+    sim.run()
+    assert log == [("acquired", "a", 0.0), ("acquired", "b", 2.0)]
+
+
+def test_resource_capacity_two_runs_in_parallel():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    log = []
+    for tag in ("a", "b", "c"):
+        sim.spawn(hold(sim, resource, 2.0, log, tag))
+    sim.run()
+    times = {tag: t for __, tag, t in log}
+    assert times["a"] == 0.0
+    assert times["b"] == 0.0
+    assert times["c"] == 2.0
+
+
+def test_resource_grants_fifo():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def staggered(sim, delay, tag):
+        yield sim.timeout(delay)
+        yield from hold(sim, resource, 5.0, log, tag)
+
+    for index, tag in enumerate("abcd"):
+        sim.spawn(staggered(sim, 0.1 * index, tag))
+    sim.run()
+    assert [tag for __, tag, _t in log] == ["a", "b", "c", "d"]
+
+
+def test_release_without_request_rejected():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_utilization():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def busy_then_idle(sim):
+        yield from hold(sim, resource, 3.0, log, "x")
+        yield sim.timeout(1.0)
+
+    sim.spawn(busy_then_idle(sim))
+    sim.run()
+    assert sim.now == 4.0
+    assert resource.busy_time() == pytest.approx(3.0)
+    assert resource.utilization() == pytest.approx(0.75)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("item")
+
+    def getter(sim):
+        item = yield store.get()
+        return item
+
+    assert sim.run_until(sim.spawn(getter(sim))) == "item"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter(sim):
+        item = yield store.get()
+        return (item, sim.now)
+
+    def putter(sim):
+        yield sim.timeout(4.0)
+        store.put("late")
+
+    proc = sim.spawn(getter(sim))
+    sim.spawn(putter(sim))
+    assert sim.run_until(proc) == ("late", 4.0)
+
+
+def test_store_fifo_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def getter(sim, tag):
+        item = yield store.get()
+        received.append((tag, item))
+
+    sim.spawn(getter(sim, "g1"))
+    sim.spawn(getter(sim, "g2"))
+
+    def putter(sim):
+        yield sim.timeout(1.0)
+        store.put("first")
+        store.put("second")
+
+    sim.spawn(putter(sim))
+    sim.run()
+    assert received == [("g1", "first"), ("g2", "second")]
+
+
+def test_store_len_counts_buffered_items():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2

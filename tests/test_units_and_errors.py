@@ -1,0 +1,53 @@
+"""Tests for the shared units/formatting helpers and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.units import GIB, KIB, MIB, MS, SEC, US, fmt_bytes, fmt_time
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_time_constants(self):
+        assert US == pytest.approx(1e-6)
+        assert MS == pytest.approx(1e-3)
+        assert SEC == 1.0
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(96 * KIB) == "96.0 KiB"
+        assert fmt_bytes(24 * MIB) == "24.0 MiB"
+        assert fmt_bytes(3 * GIB) == "3.0 GiB"
+        assert "TiB" in fmt_bytes(5 * 1024 * GIB)
+
+    def test_fmt_time(self):
+        assert fmt_time(25 * US) == "25.0 us"
+        assert fmt_time(1.5 * MS) == "1.50 ms"
+        assert fmt_time(2.5) == "2.500 s"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.OutOfSpaceError, errors.FTLError)
+        assert issubclass(errors.RecoveryError, errors.FTLError)
+        assert issubclass(errors.TransactionError, errors.FTLError)
+
+    def test_device_errors_are_not_ftl_errors(self):
+        """Device-level faults and FTL-level faults stay distinguishable."""
+        assert not issubclass(errors.MediaError, errors.FTLError)
+        assert not issubclass(errors.WritePointerError, errors.FTLError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ZoneError("zones are repro errors too")

@@ -1,0 +1,155 @@
+"""Tests for the OX-ZNS FTL: zone state machine, append/read/reset, open
+zone limits."""
+
+import pytest
+
+from repro.errors import ZoneError
+from repro.nand import FlashGeometry
+from repro.ocssd import DeviceGeometry, OpenChannelSSD
+from repro.ox import MediaManager
+from repro.zns import OXZns, Zone, ZoneState, ZnsConfig
+
+
+def make_zns(groups=2, pus=2, chunks=8, pages=6, **config):
+    geometry = DeviceGeometry(
+        num_groups=groups, pus_per_group=pus,
+        flash=FlashGeometry(blocks_per_plane=chunks, pages_per_block=pages))
+    device = OpenChannelSSD(geometry=geometry)
+    media = MediaManager(device)
+    return device, OXZns(media, ZnsConfig(**config) if config else None)
+
+
+SS = 4096
+
+
+class TestZoneStateMachine:
+    def test_initial_state(self):
+        zone = Zone(zone_id=0, capacity=100)
+        assert zone.state is ZoneState.EMPTY
+        assert zone.write_pointer == 0
+
+    def test_append_transitions(self):
+        zone = Zone(zone_id=0, capacity=10)
+        zone.check_append(4)
+        zone.advance(4)
+        assert zone.state is ZoneState.OPEN
+        zone.advance(6)
+        assert zone.state is ZoneState.FULL
+        with pytest.raises(ZoneError):
+            zone.check_append(1)
+
+    def test_read_bounds(self):
+        zone = Zone(zone_id=0, capacity=10)
+        zone.advance(4)
+        zone.check_read(0, 4)
+        with pytest.raises(ZoneError):
+            zone.check_read(2, 4)
+
+    def test_reset(self):
+        zone = Zone(zone_id=0, capacity=10)
+        zone.advance(10)
+        zone.reset()
+        assert zone.state is ZoneState.EMPTY
+        assert zone.write_pointer == 0
+
+    def test_offline_rejects_everything(self):
+        zone = Zone(zone_id=0, capacity=10)
+        zone.retire()
+        with pytest.raises(ZoneError):
+            zone.check_append(1)
+        with pytest.raises(ZoneError):
+            zone.reset()
+
+
+class TestZnsDevice:
+    def test_zone_carving_covers_device(self):
+        device, zns = make_zns()
+        total_chunks = sum(len(z.chunks) for z in zns.zones)
+        assert total_chunks == device.report_geometry().total_chunks
+        assert all(len({(c[0]) for c in z.chunks}) == 1 for z in zns.zones)
+
+    def test_zone_chunks_on_distinct_pus(self):
+        __, zns = make_zns(pus=4, chunks=8, chunks_per_zone=4)
+        for zone in zns.zones:
+            assert len({(c[0], c[1]) for c in zone.chunks}) == 4
+
+    def test_append_read_roundtrip(self):
+        __, zns = make_zns()
+        data = b"A" * SS * 3
+        lba = zns.append(0, data)
+        assert lba == 0
+        assert zns.read(lba, 3) == data
+
+    def test_appends_are_sequential(self):
+        __, zns = make_zns()
+        first = zns.append(0, b"1" * SS)
+        second = zns.append(0, b"2" * SS)
+        assert second > first
+        assert zns.read(second, 1) == b"2" * SS
+
+    def test_append_is_padded_transparently(self):
+        """The host writes sector-aligned data; ws_min never shows."""
+        device, zns = make_zns()
+        ws_min = device.report_geometry().ws_min
+        lba = zns.append(0, b"x" * SS)      # far below ws_min
+        assert zns.read(lba, 1) == b"x" * SS
+        zone = zns.zone(0)
+        assert zone.write_pointer % ws_min == 0
+
+    def test_read_beyond_pointer_rejected(self):
+        __, zns = make_zns()
+        zns.append(0, b"x" * SS)
+        with pytest.raises(ZoneError):
+            zns.read(5 * SS, 1)
+
+    def test_full_zone_rejects_append(self):
+        __, zns = make_zns(chunks_per_zone=1)
+        zone = zns.zone(0)
+        zns.append(0, b"f" * SS * zone.capacity)
+        assert zone.state is ZoneState.FULL
+        with pytest.raises(ZoneError):
+            zns.append(0, b"x" * SS)
+
+    def test_reset_zone_erases_and_reopens(self):
+        device, zns = make_zns(chunks_per_zone=1)
+        zone = zns.zone(0)
+        zns.append(0, b"f" * SS * zone.capacity)
+        zns.reset_zone(0)
+        assert zone.state is ZoneState.EMPTY
+        wear = device.chunk_info(
+            __import__("repro.ocssd.address", fromlist=["Ppa"])
+            .Ppa(*zone.chunks[0], 0)).wear_index
+        assert wear == 1
+        assert zns.append(0, b"n" * SS) == zone.start_lba
+
+    def test_finish_zone_closes_early(self):
+        __, zns = make_zns()
+        zns.append(0, b"x" * SS)
+        zns.finish_zone(0)
+        assert zns.zone(0).state is ZoneState.FULL
+        with pytest.raises(ZoneError):
+            zns.append(0, b"y" * SS)
+
+    def test_open_zone_limit(self):
+        __, zns = make_zns(chunks_per_zone=1, max_open_zones=2)
+        zns.append(0, b"a" * SS)
+        zns.append(1, b"b" * SS)
+        with pytest.raises(ZoneError):
+            zns.append(2, b"c" * SS)
+        # Filling one zone frees an open slot.
+        zone = zns.zone(0)
+        zns.append(0, b"a" * SS * zone.remaining)
+        zns.append(2, b"c" * SS)
+
+    def test_large_append_spans_chunks(self):
+        device, zns = make_zns(chunks_per_zone=2)
+        geometry = device.report_geometry()
+        sectors = geometry.sectors_per_chunk + geometry.ws_min
+        data = bytes([7]) * (SS * sectors)
+        lba = zns.append(0, data)
+        assert zns.read(lba, sectors) == data
+
+    def test_misaligned_append_rejected(self):
+        __, zns = make_zns()
+        with pytest.raises(ZoneError):
+            zns.append(0, b"tiny")
