@@ -1,0 +1,17 @@
+PYTHON ?= python
+
+.PHONY: check test bench-perf bench-perf-smoke
+
+# Tier-1 tests + perf smoke with the >30% ops/sec regression gate.
+check:
+	sh scripts/check.sh
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Full macro perf run; appends an entry to BENCH_perf.json.
+bench-perf:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_trajectory.py
+
+bench-perf-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_trajectory.py --smoke --no-append

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: the full test suite plus a perf smoke run with the
+# regression check (>30% ops/sec drop vs the committed BENCH_perf.json
+# entry fails the build).  No tox, no extra deps — plain pytest.
+#
+# Usage: scripts/check.sh   (or `make check`)
+set -e
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== perf smoke (regression gate) =="
+python benchmarks/bench_perf_trajectory.py --smoke --check --no-append
+
+echo "check: OK"

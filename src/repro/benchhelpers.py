@@ -7,8 +7,10 @@ series survive pytest's output capture; EXPERIMENTS.md indexes them.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 from repro.lsm import DB, DBConfig, DbBench, LightLSMEnv, PlacementPolicy
 from repro.nand import FlashGeometry
@@ -16,19 +18,75 @@ from repro.ocssd import DeviceGeometry, OpenChannelSSD
 from repro.ox import MediaManager
 from repro.units import KIB, MIB
 
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
-    os.path.dirname(os.path.abspath(__file__)))), "benchmarks", "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
 
 
-def report(name: str, lines: Iterable[str]) -> str:
-    """Print *lines* and persist them under benchmarks/results/."""
+def report(name: str, lines: Iterable[str],
+           metrics: Optional[Mapping[str, object]] = None) -> str:
+    """Print *lines* and persist them under benchmarks/results/.
+
+    With *metrics*, a machine-readable JSON twin is written next to the
+    ``.txt`` via :func:`report_json`.
+    """
     text = "\n".join(lines)
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    if metrics is not None:
+        report_json(name, metrics)
     return path
+
+
+def bench_entry(name: str, metrics: Mapping[str, object]) -> dict:
+    """One trajectory/result entry: ``{"name", "date", "metrics"}``."""
+    return {
+        "name": name,
+        "date": datetime.date.today().isoformat(),
+        "metrics": dict(metrics),
+    }
+
+
+def report_json(name: str, metrics: Mapping[str, object]) -> str:
+    """Persist *metrics* as ``benchmarks/results/<name>.json``.
+
+    Same entry schema as the BENCH_perf.json trajectory so downstream
+    tooling can parse either file uniformly.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(bench_entry(name, metrics), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_trajectory(path: str = TRAJECTORY_PATH) -> List[dict]:
+    """Read the perf trajectory (a JSON list of entries); [] if absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list):
+        raise ValueError(f"{path} must hold a JSON list of entries")
+    return entries
+
+
+def append_trajectory(name: str, metrics: Mapping[str, object],
+                      path: str = TRAJECTORY_PATH) -> dict:
+    """Append one entry to the perf trajectory file and return it."""
+    entries = load_trajectory(path)
+    entry = bench_entry(name, metrics)
+    entries.append(entry)
+    with open(path, "w") as handle:
+        json.dump(entries, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry
 
 
 def evaluation_device(chunks_per_pu: int = 160) -> OpenChannelSSD:

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import OutOfSpaceError, ReproError
 from repro.lsm.env import SSTableHandle, SSTableWriter, StorageEnv
 from repro.ocssd.address import Ppa
-from repro.ocssd.chunk import ChunkState
+from repro.ocssd.chunk import ChunkState, pad_sector
 from repro.ox.media import MediaManager
 from repro.sim.resources import Store
 
@@ -231,7 +231,7 @@ class LightLSMEnv(StorageEnv):
                               f"block read {handle.sstable_id}/{block_index}")
         self.stats.blocks_read += 1
         sector_size = self.geometry.sector_size
-        return b"".join((payload or b"").ljust(sector_size, b"\x00")
+        return b"".join(pad_sector(payload, sector_size)
                         for payload in completion.data)
 
     def read_meta_proc(self, handle: SSTableHandle):
@@ -403,7 +403,7 @@ class LightLSMEnv(StorageEnv):
         if not completion.ok:
             return None
         sector_size = self.geometry.sector_size
-        return b"".join((payload or b"").ljust(sector_size, b"\x00")
+        return b"".join(pad_sector(payload, sector_size)
                         for payload in completion.data)
 
     def _read_meta_of_layout(self, layout: _TableLayout):

@@ -29,6 +29,13 @@ class BlockState(enum.Enum):
     BAD = "bad"              # retired (factory or grown bad block)
 
 
+# Bound once: block-state checks run on every program/read/erase.
+_B_FREE = BlockState.FREE
+_B_OPEN = BlockState.OPEN
+_B_FULL = BlockState.FULL
+_B_BAD = BlockState.BAD
+
+
 @dataclass
 class FlashBlock:
     """State of one block set (one erase block per plane)."""
@@ -62,6 +69,13 @@ class FlashChip:
         self.blocks = [FlashBlock(index=i)
                        for i in range(self.geometry.blocks_per_plane)]
         self.stats = ChipStats()
+        # Hot-path dimensions: resolved once here instead of through a
+        # property/enum chain on every program and read.
+        self._write_unit = self.geometry.write_unit_sectors
+        self._block_sectors = self.geometry.sectors_per_chunk
+        self._group_sectors = (self.geometry.sectors_per_page
+                               * self.geometry.planes)
+        self._paired_pages = self.geometry.cell.bits_per_cell
         for index in factory_bad or []:
             self.blocks[index].state = BlockState.BAD
 
@@ -93,17 +107,17 @@ class FlashChip:
         model declares the erase failed; erasing a retired block also fails.
         """
         block = self._block(index)
-        if block.state is BlockState.BAD:
+        if block.state is _B_BAD:
             raise MediaError(f"erase of bad block {index}")
         block.erase_count += 1
         self.stats.erases += 1
         elapsed = self.timing.erase_time()
         self.stats.erase_time += elapsed
         if self.wear.erase_fails(block.erase_count):
-            block.state = BlockState.BAD
+            block.state = _B_BAD
             raise MediaError(
                 f"block {index} failed erase at cycle {block.erase_count}")
-        block.state = BlockState.FREE
+        block.state = _B_FREE
         block.sectors_programmed = 0
         return elapsed
 
@@ -115,26 +129,26 @@ class FlashChip:
         Returns the media time consumed.
         """
         block = self._block(index)
-        if block.state is BlockState.BAD:
+        if block.state is _B_BAD:
             raise MediaError(f"program on bad block {index}")
-        if block.state is BlockState.FULL:
+        if block.state is _B_FULL:
             raise WritePointerError(f"program on full block {index}")
-        write_unit = self.geometry.write_unit_sectors
+        write_unit = self._write_unit
         if sectors <= 0 or sectors % write_unit:
             raise WritePointerError(
                 f"program of {sectors} sectors is not a multiple of the "
                 f"write unit ({write_unit} sectors)")
-        if block.sectors_programmed + sectors > self.sectors_per_block:
+        if block.sectors_programmed + sectors > self._block_sectors:
             raise WritePointerError(
                 f"program overflows block {index}: "
                 f"{block.sectors_programmed} + {sectors} > "
                 f"{self.sectors_per_block}")
         block.sectors_programmed += sectors
-        block.state = (BlockState.FULL
-                       if block.sectors_programmed == self.sectors_per_block
-                       else BlockState.OPEN)
+        block.state = (_B_FULL
+                       if block.sectors_programmed == self._block_sectors
+                       else _B_OPEN)
         # One write unit = `paired_pages` successive multi-plane programs.
-        page_groups = (sectors // write_unit) * self.geometry.cell.bits_per_cell
+        page_groups = (sectors // write_unit) * self._paired_pages
         self.stats.programs += page_groups
         elapsed = self.timing.program_time(page_groups)
         self.stats.program_time += elapsed
@@ -150,7 +164,7 @@ class FlashChip:
         Raises :class:`MediaError` on an uncorrectable (wear-induced) error.
         """
         block = self._block(index)
-        if block.state is BlockState.BAD:
+        if block.state is _B_BAD:
             raise MediaError(f"read on bad block {index}")
         if sectors <= 0:
             raise MediaError(f"read of {sectors} sectors")
@@ -159,7 +173,7 @@ class FlashChip:
                 f"read of sectors [{first_sector}, {first_sector + sectors}) "
                 f"beyond write pointer {block.sectors_programmed} "
                 f"in block {index}")
-        group = self.sectors_per_page_group
+        group = self._group_sectors
         first_group = first_sector // group
         last_group = (first_sector + sectors - 1) // group
         page_groups = last_group - first_group + 1

@@ -6,15 +6,19 @@ An address names a sector as ``(group, pu, chunk, sector)``:
 * ``pu`` — parallel unit (a chip) within the group,
 * ``chunk`` — sequential-write unit within the PU,
 * ``sector`` — logical block (4 KB by default) within the chunk.
+
+``Ppa`` is a ``NamedTuple``: device models construct one per addressed
+sector on every I/O, and tuple allocation is several times cheaper than a
+frozen dataclass while keeping the same field access, ordering, equality
+and immutability.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True, order=True)
-class Ppa:
+class Ppa(NamedTuple):
     """A physical sector address on the Open-Channel SSD."""
 
     group: int
@@ -26,9 +30,9 @@ class Ppa:
         """The address of the containing chunk (sector zeroed)."""
         return Ppa(self.group, self.pu, self.chunk, 0)
 
-    def chunk_key(self) -> tuple[int, int, int]:
+    def chunk_key(self) -> tuple:
         """Hashable identity of the containing chunk."""
-        return (self.group, self.pu, self.chunk)
+        return self[:3]
 
     def with_sector(self, sector: int) -> "Ppa":
         return Ppa(self.group, self.pu, self.chunk, sector)

@@ -55,6 +55,23 @@ class WriteBackCache:
             self._waiters.append((capped, grant))
         return grant
 
+    def try_reserve(self, sectors: int):
+        """Synchronously take credits if the grant would be immediate.
+
+        Returns the number of credits held (the capped amount), or None
+        when the reservation would have to queue.  Mirrors
+        ``Resource.try_acquire``: an uncontended reservation succeeds at
+        the current instant either way, so skipping the event round-trip
+        changes neither timing nor FIFO fairness.
+        """
+        if sectors <= 0:
+            raise SimulationError(f"reserve of {sectors} sectors")
+        capped = min(sectors, self.capacity)
+        if not self._waiters and self._free >= capped:
+            self._free -= capped
+            return capped
+        return None
+
     def release(self, sectors: int) -> None:
         """Return credits; wakes FIFO waiters whose requests now fit."""
         if sectors < 0:

@@ -14,16 +14,46 @@ accepted by the controller, possibly still in the write-back cache) from
 the *flushed* write pointer (sectors actually programmed to NAND).  A
 power/controller crash rolls the chunk back to its flushed pointer, which
 is what makes the FTL's write-ahead-log durability guarantees testable.
+
+Payloads live in one lazily-allocated ``bytearray`` per chunk; writes
+copy into it once and reads hand out :class:`memoryview` slices instead
+of allocating a bytes object per sector.  A validity bytearray tells a
+never-written (``None``) sector apart from written data, and a per-sector
+length array preserves exact short-payload round-trips (the simulated
+sector keeps its trailing undefined bytes out of sight, like a real
+drive whose host only DMAs the transferred length).  Sequential-write
+discipline makes the aliasing safe: a sector below the write pointer is
+never overwritten, and ``reset`` drops the buffer rather than zeroing
+it, so outstanding views keep reading the data that existed when they
+were created.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from array import array
+from typing import List, Optional, Sequence, Union
 
 from repro.errors import ChunkStateError, WritePointerError, WriteUnitError
 from repro.ocssd.address import Ppa
 
 import enum
+
+Payload = Union[bytes, bytearray, memoryview, None]
+
+
+def pad_sector(payload: Payload, sector_size: int) -> Union[bytes,
+                                                            memoryview]:
+    """Pad one read payload (bytes, memoryview or None) to *sector_size*.
+
+    The full-sector case — the overwhelmingly common one — returns the
+    payload untouched, so a chunk-store memoryview flows zero-copy into
+    the caller's ``b"".join``.
+    """
+    if payload is None:
+        return bytes(sector_size)
+    if len(payload) == sector_size:
+        return payload
+    return bytes(payload).ljust(sector_size, b"\x00")
 
 
 class ChunkState(enum.Enum):
@@ -33,29 +63,43 @@ class ChunkState(enum.Enum):
     OFFLINE = "offline"
 
 
+# Enum member access goes through a descriptor on every lookup; the chunk
+# state checks sit on the per-sector read/write paths, so bind them once.
+_FREE = ChunkState.FREE
+_OPEN = ChunkState.OPEN
+_CLOSED = ChunkState.CLOSED
+_OFFLINE = ChunkState.OFFLINE
+
+
 class Chunk:
     """State, write pointers and sector payloads of one chunk."""
 
-    __slots__ = ("address", "capacity", "ws_min", "state", "write_pointer",
-                 "flushed_pointer", "wear_index", "_data", "_oob")
+    __slots__ = ("address", "capacity", "ws_min", "sector_size", "state",
+                 "write_pointer", "flushed_pointer", "wear_index",
+                 "_buffer", "_lengths", "_valid", "_oob")
 
-    def __init__(self, address: Ppa, capacity: int, ws_min: int):
+    def __init__(self, address: Ppa, capacity: int, ws_min: int,
+                 sector_size: int = 4096):
         self.address = address.chunk_address()
         self.capacity = capacity
         self.ws_min = ws_min
-        self.state = ChunkState.FREE
+        self.sector_size = sector_size
+        self.state = _FREE
         self.write_pointer = 0
         self.flushed_pointer = 0
         self.wear_index = 0          # erase cycles seen by this chunk
-        # Payloads and out-of-band metadata are allocated on first write so
-        # a large device with mostly-untouched chunks stays cheap.  OOB
-        # mirrors real flash: per-sector metadata FTL recovery scans read.
-        self._data: Optional[List[Optional[bytes]]] = None
+        # Payload buffer and out-of-band metadata are allocated on first
+        # write so a large device with mostly-untouched chunks stays cheap.
+        # OOB mirrors real flash: per-sector metadata FTL recovery scans
+        # read.
+        self._buffer: Optional[bytearray] = None
+        self._lengths: Optional[array] = None
+        self._valid: Optional[bytearray] = None
         self._oob: Optional[List[Optional[object]]] = None
 
     # -- write path -----------------------------------------------------------
 
-    def admit_write(self, sector: int, payloads: List[Optional[bytes]],
+    def admit_write(self, sector: int, payloads: Sequence[Payload],
                     oobs: Optional[List[object]] = None) -> None:
         """Accept a sequential write of ``len(payloads)`` sectors at *sector*.
 
@@ -64,9 +108,9 @@ class Chunk:
         whole number of ``ws_min`` units.
         """
         count = len(payloads)
-        if self.state is ChunkState.OFFLINE:
+        if self.state is _OFFLINE:
             raise ChunkStateError(f"write to offline chunk {self.address}")
-        if self.state is ChunkState.CLOSED:
+        if self.state is _CLOSED:
             raise ChunkStateError(f"write to closed chunk {self.address}")
         if sector != self.write_pointer:
             raise WritePointerError(
@@ -82,14 +126,30 @@ class Chunk:
         if oobs is not None and len(oobs) != count:
             raise WriteUnitError(
                 f"write of {count} sectors with {len(oobs)} OOB entries")
+        sector_size = self.sector_size
+        for payload in payloads:
+            if payload is not None and len(payload) > sector_size:
+                raise WriteUnitError(
+                    f"payload of {len(payload)} bytes exceeds the "
+                    f"{sector_size}-byte sector of {self.address}")
         self._ensure_storage()
-        self._data[sector:sector + count] = payloads
+        buffer = self._buffer
+        lengths = self._lengths
+        valid = self._valid
+        offset = sector * sector_size
+        for index, payload in enumerate(payloads):
+            if payload is not None:
+                length = len(payload)
+                at = offset + index * sector_size
+                buffer[at:at + length] = payload
+                lengths[sector + index] = length
+                valid[sector + index] = 1
         if oobs is not None:
             self._oob[sector:sector + count] = oobs
         self.write_pointer += count
-        self.state = (ChunkState.CLOSED
+        self.state = (_CLOSED
                       if self.write_pointer == self.capacity
-                      else ChunkState.OPEN)
+                      else _OPEN)
 
     def mark_flushed(self, up_to: int) -> None:
         """Record that sectors below *up_to* have reached NAND."""
@@ -101,19 +161,25 @@ class Chunk:
         self.flushed_pointer = up_to
 
     def _ensure_storage(self) -> None:
-        if self._data is None:
-            self._data = [None] * self.capacity
+        if self._buffer is None:
+            self._buffer = bytearray(self.capacity * self.sector_size)
+            self._lengths = array("H", bytes(2 * self.capacity))
+            self._valid = bytearray(self.capacity)
             self._oob = [None] * self.capacity
 
     # -- read path -------------------------------------------------------------
 
-    def read(self, sector: int, count: int = 1) -> List[Optional[bytes]]:
+    def read(self, sector: int, count: int = 1) -> List[Payload]:
         """Return the payloads of *count* sectors starting at *sector*.
+
+        Payloads come back as memoryviews into the chunk buffer (``None``
+        for sectors written without data); callers that need sector-sized
+        blobs pad them with :func:`pad_sector`.
 
         Reading at or above the write pointer is an error (undefined data on
         real flash).
         """
-        if self.state is ChunkState.OFFLINE:
+        if self.state is _OFFLINE:
             raise ChunkStateError(f"read from offline chunk {self.address}")
         if count <= 0:
             raise WritePointerError(f"read of {count} sectors")
@@ -121,7 +187,18 @@ class Chunk:
             raise WritePointerError(
                 f"read of sectors [{sector}, {sector + count}) above write "
                 f"pointer {self.write_pointer} in {self.address}")
-        return self._data[sector:sector + count]
+        view = memoryview(self._buffer)
+        valid = self._valid
+        lengths = self._lengths
+        sector_size = self.sector_size
+        result: List[Payload] = []
+        for index in range(sector, sector + count):
+            if valid[index]:
+                at = index * sector_size
+                result.append(view[at:at + lengths[index]])
+            else:
+                result.append(None)
+        return result
 
     def read_oob(self, sector: int, count: int = 1) -> List[Optional[object]]:
         """Return the out-of-band metadata of *count* sectors at *sector*."""
@@ -135,42 +212,53 @@ class Chunk:
 
     def reset(self) -> None:
         """Erase the chunk: back to ``FREE`` with the pointer at 0."""
-        if self.state is ChunkState.OFFLINE:
+        if self.state is _OFFLINE:
             raise ChunkStateError(f"reset of offline chunk {self.address}")
-        self.state = ChunkState.FREE
+        self.state = _FREE
         self.write_pointer = 0
         self.flushed_pointer = 0
         self.wear_index += 1
-        self._data = None
+        self._buffer = None
+        self._lengths = None
+        self._valid = None
         self._oob = None
 
     def retire(self) -> None:
         """Take the chunk offline after an unrecoverable media failure."""
-        self.state = ChunkState.OFFLINE
+        self.state = _OFFLINE
 
     def rollback_unflushed(self) -> None:
         """Drop sectors admitted but never programmed (crash semantics)."""
-        if self.state is ChunkState.OFFLINE:
+        if self.state is _OFFLINE:
             return
-        if self._data is not None:
+        if self._valid is not None:
             for sector in range(self.flushed_pointer, self.write_pointer):
-                self._data[sector] = None
+                self._valid[sector] = 0
+                self._lengths[sector] = 0
                 self._oob[sector] = None
         self.write_pointer = self.flushed_pointer
         if self.write_pointer == 0:
-            self.state = ChunkState.FREE
+            self.state = _FREE
         elif self.write_pointer < self.capacity:
-            self.state = ChunkState.OPEN
+            self.state = _OPEN
 
     # -- inspection ---------------------------------------------------------------
 
     @property
     def is_writable(self) -> bool:
-        return self.state in (ChunkState.FREE, ChunkState.OPEN)
+        return self.state in (_FREE, _OPEN)
 
     @property
     def sectors_free(self) -> int:
         return self.capacity - self.write_pointer
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the payload store (perf metric)."""
+        import sys
+        if self._buffer is None:
+            return 0
+        return (sys.getsizeof(self._buffer) + sys.getsizeof(self._lengths) +
+                sys.getsizeof(self._valid) + sys.getsizeof(self._oob))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Chunk {self.address} {self.state.value} "

@@ -23,7 +23,7 @@ class CommandStatus(enum.Enum):
     INVALID = "invalid"
 
 
-@dataclass
+@dataclass(slots=True)
 class VectorWrite:
     """Write ``data[i]`` to ``ppas[i]``; addresses must be chunk-sequential
     runs aligned on the write pointer and sized in ``ws_min`` units.
@@ -52,21 +52,21 @@ class VectorWrite:
                 f"{len(self.oob)} OOB entries")
 
 
-@dataclass
+@dataclass(slots=True)
 class VectorRead:
     """Read the sectors named by *ppas* (any scatter pattern)."""
 
     ppas: List[Ppa]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChunkReset:
     """Reset (erase) the chunk containing *ppa*."""
 
     ppa: Ppa
 
 
-@dataclass
+@dataclass(slots=True)
 class VectorCopy:
     """Device-internal copy: move sectors ``src[i]`` to ``dst[i]`` without
     transferring data to the host.  Destinations obey the same sequential
@@ -82,7 +82,7 @@ class VectorCopy:
                 f"{len(self.dst)} destinations")
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """Result of a command: status, payloads for reads, and timing."""
 

@@ -77,6 +77,14 @@ class Controller:
                          for g in range(geometry.num_groups)]
         self.chip_locks: Dict[PuKey, Resource] = {
             key: Resource(sim, name=f"chip{key}") for key in chips}
+        # Per-chunk dispatch context.  Every run resolves chunk -> chip /
+        # chip lock / channel; one identity-keyed lookup replaces the
+        # attribute chain and three dict/list probes on the hot path.
+        self._ctx: Dict[Chunk, Tuple[FlashChip, Resource, Resource, PuKey]] = {}
+        for (group, pu, __), chunk in chunks.items():
+            pu_key = (group, pu)
+            self._ctx[chunk] = (chips[pu_key], self.chip_locks[pu_key],
+                                self.channels[group], pu_key)
         self.stats = ControllerStats()
         self._epoch = 0
         self._pending_flush = 0
@@ -113,13 +121,11 @@ class Controller:
         admitted into *chunk* (data and write pointer updated by the device
         before this runs).  ``fua`` forces write-through."""
         epoch = self._epoch
-        key = (chunk.address.group, chunk.address.pu)
-        chip = self.chips[key]
+        chip, __, channel, key = self._ctx[chunk]
         num_bytes = sectors * self.geometry.sector_size
 
-        channel = self.channels[chunk.address.group]
-        grant = channel.request()
-        yield grant
+        if not channel.try_acquire():
+            yield channel.request()
         try:
             yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
         finally:
@@ -128,15 +134,18 @@ class Controller:
             return False
 
         if self.cache is not None and not fua:
-            reservation = self.cache.reserve(sectors)
-            yield reservation
-            if epoch != self._epoch:
-                return False
+            granted = self.cache.try_reserve(sectors)
+            if granted is None:
+                reservation = self.cache.reserve(sectors)
+                yield reservation
+                if epoch != self._epoch:
+                    return False
+                granted = reservation.value
             self._pending_flush += 1
             self._flush_queues[key].put(_FlushJob(
                 epoch=epoch, chunk=chunk, chip=chip,
                 first_sector=first_sector, sectors=sectors,
-                granted=reservation.value))
+                granted=granted))
             # Write-back: the command completes here; the flusher programs
             # the data and reports failures asynchronously (§2.2).
             self.stats.sectors_written += sectors
@@ -179,13 +188,13 @@ class Controller:
         granularity instead of stalling for a whole multi-megabyte run.
         Returns success.
         """
-        key = (chunk.address.group, chunk.address.pu)
-        lock = self.chip_locks[key]
+        lock = self._ctx[chunk][1]
         ws_min = self.geometry.ws_min
         done = 0
         while done < sectors:
             unit = min(ws_min, sectors - done)
-            yield lock.request(priority)
+            if not lock.try_acquire():
+                yield lock.request(priority)
             try:
                 if epoch != self._epoch:
                     return False
@@ -215,8 +224,7 @@ class Controller:
         :class:`MediaError` on an uncorrectable read.
         """
         epoch = self._epoch
-        key = (chunk.address.group, chunk.address.pu)
-        chip = self.chips[key]
+        chip, lock, channel, __ = self._ctx[chunk]
         payloads = chunk.read(first_sector, sectors)
 
         media_sectors = max(0, min(chunk.flushed_pointer,
@@ -226,8 +234,8 @@ class Controller:
         self.stats.sectors_read_from_cache += cached_sectors
 
         if media_sectors > 0:
-            lock = self.chip_locks[key]
-            yield lock.request()
+            if not lock.try_acquire():
+                yield lock.request()
             try:
                 if epoch != self._epoch:
                     return payloads
@@ -243,8 +251,8 @@ class Controller:
                 lock.release()
 
         num_bytes = sectors * self.geometry.sector_size
-        channel = self.channels[chunk.address.group]
-        yield channel.request()
+        if not channel.try_acquire():
+            yield channel.request()
         try:
             yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
         finally:
@@ -260,10 +268,9 @@ class Controller:
         a notification is logged, and False is returned.
         """
         epoch = self._epoch
-        key = (chunk.address.group, chunk.address.pu)
-        chip = self.chips[key]
-        lock = self.chip_locks[key]
-        yield lock.request()
+        chip, lock, __, __ = self._ctx[chunk]
+        if not lock.try_acquire():
+            yield lock.request()
         try:
             if epoch != self._epoch:
                 return False

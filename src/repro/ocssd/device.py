@@ -62,6 +62,13 @@ class ChunkDescriptor:
 
 _Run = Tuple[Chunk, int, int, int]  # (chunk, first_sector, count, offset)
 
+# Completion statuses bound once: one is attached per submitted command.
+_OK = CommandStatus.OK
+_WRITE_FAILED = CommandStatus.WRITE_FAILED
+_READ_FAILED = CommandStatus.READ_FAILED
+_RESET_FAILED = CommandStatus.RESET_FAILED
+_INVALID = CommandStatus.INVALID
+
 
 class OpenChannelSSD:
     """A simulated Open-Channel SSD exposing the OCSSD 2.0 command set."""
@@ -91,7 +98,8 @@ class OpenChannelSSD:
             for chunk_index in range(self.geometry.chunks_per_pu):
                 ppa = Ppa(group, pu, chunk_index, 0)
                 chunk = Chunk(ppa, capacity=self.geometry.sectors_per_chunk,
-                              ws_min=self.geometry.ws_min)
+                              ws_min=self.geometry.ws_min,
+                              sector_size=self.geometry.sector_size)
                 if chunk_index in (factory_bad.get((group, pu)) or []):
                     chunk.retire()
                 self.chunks[(group, pu, chunk_index)] = chunk
@@ -117,10 +125,16 @@ class OpenChannelSSD:
                                wear_index=chunk.wear_index)
 
     def iter_chunk_info(self) -> Iterator[ChunkDescriptor]:
-        """Walk every chunk descriptor in address order (recovery scans)."""
-        for group, pu in self.geometry.iter_pus():
-            for index in range(self.geometry.chunks_per_pu):
-                yield self.chunk_info(Ppa(group, pu, index, 0))
+        """Walk every chunk descriptor in address order (recovery scans).
+
+        Iterates the chunk table directly — it is built in address order —
+        instead of re-deriving and re-validating one Ppa per chunk.
+        """
+        for chunk in self.chunks.values():
+            yield ChunkDescriptor(ppa=chunk.address, state=chunk.state,
+                                  write_pointer=chunk.write_pointer,
+                                  capacity=chunk.capacity,
+                                  wear_index=chunk.wear_index)
 
     def pop_notifications(self) -> List[ChunkNotification]:
         """Drain the asynchronous notification log."""
@@ -133,10 +147,11 @@ class OpenChannelSSD:
         """Process generator executing *command*; returns a Completion."""
         submitted = self.sim.now
         try:
-            if isinstance(command, VectorWrite):
-                completion = yield from self._do_write(command)
-            elif isinstance(command, VectorRead):
+            # Reads outnumber every other command; test them first.
+            if isinstance(command, VectorRead):
                 completion = yield from self._do_read(command)
+            elif isinstance(command, VectorWrite):
+                completion = yield from self._do_write(command)
             elif isinstance(command, ChunkReset):
                 completion = yield from self._do_reset(command)
             elif isinstance(command, VectorCopy):
@@ -144,7 +159,7 @@ class OpenChannelSSD:
             else:
                 raise ReproError(f"unknown command {command!r}")
         except ReproError as exc:
-            completion = Completion(status=CommandStatus.INVALID,
+            completion = Completion(status=_INVALID,
                                     error=str(exc))
         completion.submitted_at = submitted
         completion.completed_at = self.sim.now
@@ -197,16 +212,23 @@ class OpenChannelSSD:
         """Group addresses into maximal chunk-contiguous runs, remembering
         each run's offset into the original vector."""
         runs: List[_Run] = []
+        check = self.geometry.check
+        chunks = self.chunks
+        total = len(ppas)
         start = 0
-        while start < len(ppas):
+        while start < total:
             first = ppas[start]
-            chunk = self._chunk(first)
+            check(first)
+            key = first[:3]
+            chunk = chunks[key]
+            sector = first[3]
             end = start + 1
-            while (end < len(ppas)
-                   and ppas[end].chunk_key() == first.chunk_key()
-                   and ppas[end].sector == ppas[end - 1].sector + 1):
+            while end < total:
+                nxt = ppas[end]
+                if nxt[3] != sector + (end - start) or nxt[:3] != key:
+                    break
                 end += 1
-            runs.append((chunk, first.sector, end - start, start))
+            runs.append((chunk, sector, end - start, start))
             start = end
         return runs
 
@@ -222,15 +244,22 @@ class OpenChannelSSD:
             oobs = (command.oob[offset:offset + count]
                     if command.oob is not None else None)
             chunk.admit_write(first_sector, payloads, oobs)
-        procs = [self.sim.spawn(
-                     self.controller.write_run(chunk, first_sector, count,
-                                               fua=command.fua),
-                     name=f"write{chunk.address.chunk_key()}")
-                 for chunk, first_sector, count, __ in runs]
-        results = yield self.sim.all_of(procs)
+        if len(runs) == 1:
+            # Single-run vectors dominate; drive the controller inline
+            # instead of paying a process spawn + join for no parallelism.
+            chunk, first_sector, count, __ = runs[0]
+            results = [(yield from self.controller.write_run(
+                chunk, first_sector, count, fua=command.fua))]
+        else:
+            procs = [self.sim.spawn(
+                         self.controller.write_run(chunk, first_sector, count,
+                                                   fua=command.fua),
+                         name=f"write{chunk.address.chunk_key()}")
+                     for chunk, first_sector, count, __ in runs]
+            results = yield self.sim.all_of(procs)
         if all(results):
-            return Completion(status=CommandStatus.OK)
-        return Completion(status=CommandStatus.WRITE_FAILED,
+            return Completion(status=_OK)
+        return Completion(status=_WRITE_FAILED,
                           error="program failure (see notifications)")
 
     def _do_read(self, command: VectorRead):
@@ -249,20 +278,25 @@ class OpenChannelSSD:
             data[offset:offset + count] = payloads
             oob[offset:offset + count] = chunk.read_oob(first_sector, count)
 
-        procs = [self.sim.spawn(one_run(*run), name="read-run")
-                 for run in runs]
-        yield self.sim.all_of(procs)
+        if len(runs) == 1:
+            # Single-run vectors dominate; no parallelism to gain from a
+            # process spawn + join, so run the timing inline.
+            yield from one_run(*runs[0])
+        else:
+            procs = [self.sim.spawn(one_run(*run), name="read-run")
+                     for run in runs]
+            yield self.sim.all_of(procs)
         if failures:
-            return Completion(status=CommandStatus.READ_FAILED, data=data,
+            return Completion(status=_READ_FAILED, data=data,
                               oob=oob, error="; ".join(failures))
-        return Completion(status=CommandStatus.OK, data=data, oob=oob)
+        return Completion(status=_OK, data=data, oob=oob)
 
     def _do_reset(self, command: ChunkReset):
         chunk = self._chunk(command.ppa)
         ok = yield from self.controller.reset_chunk(chunk)
         if ok:
-            return Completion(status=CommandStatus.OK)
-        return Completion(status=CommandStatus.RESET_FAILED,
+            return Completion(status=_OK)
+        return Completion(status=_RESET_FAILED,
                           error=f"reset failed for {chunk.address}")
 
     def _do_copy(self, command: VectorCopy):
@@ -300,4 +334,4 @@ class OpenChannelSSD:
                       name="copy-write")
                   for chunk, first_sector, count, __ in dst_runs]
         yield self.sim.all_of(procs)
-        return Completion(status=CommandStatus.OK)
+        return Completion(status=_OK)

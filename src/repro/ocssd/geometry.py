@@ -36,6 +36,11 @@ class DeviceGeometry:
         if self.pus_per_group < 1:
             raise GeometryError(
                 f"pus_per_group must be >= 1, got {self.pus_per_group}")
+        # Address translation runs once per sector on every I/O; cache the
+        # dimension chain (each hop is a property call) on the instance.
+        object.__setattr__(self, "_dims",
+                           (self.pus_per_group, self.flash.chunks_per_chip,
+                            self.flash.sectors_per_chunk, self.num_groups))
 
     # -- derived dimensions ---------------------------------------------------
 
@@ -81,28 +86,29 @@ class DeviceGeometry:
 
     def check(self, ppa: Ppa) -> None:
         """Raise :class:`GeometryError` unless *ppa* is on the device."""
-        if not (0 <= ppa.group < self.num_groups
-                and 0 <= ppa.pu < self.pus_per_group
-                and 0 <= ppa.chunk < self.chunks_per_pu
-                and 0 <= ppa.sector < self.sectors_per_chunk):
+        pus, chunks, sectors, groups = self._dims
+        group, pu, chunk, sector = ppa
+        if not (0 <= group < groups and 0 <= pu < pus
+                and 0 <= chunk < chunks and 0 <= sector < sectors):
             raise GeometryError(f"{ppa} outside geometry {self.describe()}")
 
     def linearize(self, ppa: Ppa) -> int:
         """Map *ppa* to a dense integer (used for compact map encodings)."""
-        self.check(ppa)
-        index = ppa.group
-        index = index * self.pus_per_group + ppa.pu
-        index = index * self.chunks_per_pu + ppa.chunk
-        index = index * self.sectors_per_chunk + ppa.sector
-        return index
+        pus, chunks, sectors, groups = self._dims
+        group, pu, chunk, sector = ppa
+        if not (0 <= group < groups and 0 <= pu < pus
+                and 0 <= chunk < chunks and 0 <= sector < sectors):
+            raise GeometryError(f"{ppa} outside geometry {self.describe()}")
+        return ((group * pus + pu) * chunks + chunk) * sectors + sector
 
     def delinearize(self, index: int) -> Ppa:
         """Inverse of :meth:`linearize`."""
-        if not 0 <= index < self.total_chunks * self.sectors_per_chunk:
+        pus, chunks, sectors, groups = self._dims
+        if not 0 <= index < groups * pus * chunks * sectors:
             raise GeometryError(f"linear index {index} out of range")
-        index, sector = divmod(index, self.sectors_per_chunk)
-        index, chunk = divmod(index, self.chunks_per_pu)
-        group, pu = divmod(index, self.pus_per_group)
+        index, sector = divmod(index, sectors)
+        index, chunk = divmod(index, chunks)
+        group, pu = divmod(index, pus)
         return Ppa(group, pu, chunk, sector)
 
     def iter_pus(self) -> Iterator[tuple[int, int]]:

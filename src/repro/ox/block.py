@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import FTLError, OutOfSpaceError
 from repro.ocssd.address import Ppa
+from repro.ocssd.chunk import pad_sector
 from repro.ox.ftl.checkpoint import CheckpointManager
 from repro.ox.ftl.gc import GarbageCollector
 from repro.ox.ftl.mapping import PageMap
@@ -199,17 +200,30 @@ class OXBlock:
             txn_id = self._take_txn_id()
             entries: List[Tuple[int, int, int]] = []
             completed_units: List[PendingUnit] = []
+            # Stage memoryview slices: the chunk store makes the single
+            # copy of each sector, when the unit write reaches the device.
+            view = memoryview(data)
+            allocate = self.provisioner.allocate_sector
+            stage = self.buffer.stage
+            linearize = self.geometry.linearize
+            update = self.page_map.update
+            add_valid = self.chunk_table.add_valid
             for index in range(count):
-                ppa = yield from self._allocate_sector_proc()
-                payload = data[index * sector_size:(index + 1) * sector_size]
-                unit = self.buffer.stage(lba + index, ppa, payload)
-                previous = self.page_map.update(
-                    lba + index, self.geometry.linearize(ppa))
-                self.chunk_table.add_valid(ppa.chunk_key())
+                try:
+                    ppa = allocate("user")
+                except OutOfSpaceError:
+                    # Slow path: run GC inline, then retry the allocation.
+                    ppa = yield from self._allocate_sector_proc()
+                cur = lba + index
+                payload = view[index * sector_size:(index + 1) * sector_size]
+                unit = stage(cur, ppa, payload)
+                linear = linearize(ppa)
+                previous = update(cur, linear)
+                add_valid(ppa.chunk_key())
                 if previous is not None:
                     self.chunk_table.invalidate(
                         self.geometry.delinearize(previous).chunk_key())
-                entries.append((lba + index, self.geometry.linearize(ppa),
+                entries.append((cur, linear,
                                 previous if previous is not None else NO_PPA))
                 if unit is not None:
                     completed_units.append(unit)
@@ -218,7 +232,10 @@ class OXBlock:
             self.wal.append_map_update(txn_id, entries)
             self.wal.append_commit(txn_id)
             yield from self.wal.flush_proc()
-            if unit_procs:
+            if len(unit_procs) == 1:
+                # A Process is an Event: join it without an all_of wrapper.
+                yield unit_procs[0]
+            elif unit_procs:
                 yield self.sim.all_of(unit_procs)
             # Only after this txn's units are admitted: a pressure
             # checkpoint drains the cache and must cover them.
@@ -244,7 +261,7 @@ class OXBlock:
                     continue
                 buffered = self.buffer.lookup(lba + index)
                 if buffered is not None:
-                    pieces[index] = buffered.ljust(sector_size, b"\x00")
+                    pieces[index] = pad_sector(buffered, sector_size)
                     continue
                 linear = self.page_map.lookup(lba + index)
                 if linear is None:
@@ -257,8 +274,7 @@ class OXBlock:
                 [ppa for __, ppa in missing])
             if completion.ok:
                 for (index, __), payload in zip(missing, completion.data):
-                    data = payload or b""
-                    pieces[index] = data.ljust(sector_size, b"\x00")
+                    pieces[index] = pad_sector(payload, sector_size)
                 break
             # A concurrent relocation/reset invalidated an address between
             # lookup and read: retry against the fresh mapping.

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FTLError, OutOfSpaceError
 from repro.ocssd.address import Ppa
-from repro.ocssd.chunk import ChunkState
+from repro.ocssd.chunk import ChunkState, pad_sector
 from repro.ox.ftl import serial
 from repro.ox.ftl.checkpoint import CheckpointManager
 from repro.ox.ftl.provisioning import MetadataLayout
@@ -216,7 +216,7 @@ class OXEleos:
         ppas = [first.with_sector(first.sector + i) for i in range(covering)]
         completion = yield from self.media.read_proc(ppas)
         self.media.require_ok(completion, f"page {page_id} read")
-        blob = b"".join((payload or b"").ljust(sector_size, b"\x00")
+        blob = b"".join(pad_sector(payload, sector_size)
                         for payload in completion.data)
         self.stats.pages_read += 1
         return blob[entry.offset:entry.offset + entry.length]

@@ -66,13 +66,13 @@ class CheckpointManager:
         snapshot must be consistent with the WAL truncation that follows.
         """
         records: List[bytes] = []
-        map_snapshot = page_map.snapshot()
+        map_flat = page_map.snapshot_flat()
         chunk_snapshot = chunk_table.snapshot()
-        records.extend(serial.split_ckpt_map(map_snapshot, self.sector_size))
+        records.extend(serial.split_ckpt_map_flat(map_flat, self.sector_size))
         records.extend(serial.split_ckpt_chunk(chunk_snapshot,
                                                self.sector_size))
         yield from self.write_payload_proc(seq, next_txn_id, records,
-                                           map_entries=len(map_snapshot),
+                                           map_entries=len(map_flat) // 2,
                                            chunk_entries=len(chunk_snapshot))
         page_map.mark_clean()
 

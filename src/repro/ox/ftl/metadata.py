@@ -27,6 +27,9 @@ class FtlChunkState(enum.Enum):
     BAD = 3
 
 
+
+
+
 @dataclass
 class FtlChunkInfo:
     """The FTL's view of one data-region chunk."""
@@ -35,6 +38,7 @@ class FtlChunkInfo:
     state: FtlChunkState = FtlChunkState.FREE
     valid_count: int = 0
     write_next: int = 0   # next sector the FTL will write in this chunk
+    linear: int = 0       # linearized chunk index, fixed at registration
 
 
 class ChunkTable:
@@ -43,8 +47,13 @@ class ChunkTable:
     def __init__(self, geometry: DeviceGeometry,
                  data_chunks: Iterator[ChunkKey]):
         self.geometry = geometry
+        self._capacity = geometry.sectors_per_chunk
+        pus = geometry.pus_per_group
+        per_pu = geometry.chunks_per_pu
         self._chunks: Dict[ChunkKey, FtlChunkInfo] = {
-            key: FtlChunkInfo(key=key) for key in data_chunks}
+            key: FtlChunkInfo(key=key,
+                              linear=(key[0] * pus + key[1]) * per_pu + key[2])
+            for key in data_chunks}
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -69,7 +78,7 @@ class ChunkTable:
     def add_valid(self, key: ChunkKey, count: int = 1) -> None:
         info = self.get(key)
         info.valid_count += count
-        capacity = self.geometry.sectors_per_chunk
+        capacity = self._capacity
         if info.valid_count > capacity:
             raise FTLError(
                 f"chunk {key} valid count {info.valid_count} exceeds "
@@ -101,12 +110,12 @@ class ChunkTable:
 
     def snapshot(self) -> List[Tuple[int, int, int]]:
         """``(chunk_linear, state, valid_count)`` rows for checkpointing."""
-        rows = []
-        for key, info in sorted(self._chunks.items()):
-            group, pu, chunk = key
-            linear = (group * self.geometry.pus_per_group + pu) \
-                * self.geometry.chunks_per_pu + chunk
-            rows.append((linear, info.state.value, info.valid_count))
+        # `.value` is a descriptor lookup; `_value_` is the plain
+        # attribute underneath it, and thousands of rows go through here
+        # per checkpoint.
+        rows = [(info.linear, info.state._value_, info.valid_count)
+                for info in self._chunks.values()]
+        rows.sort()
         return rows
 
     def load_row(self, chunk_linear: int, state: int, valid: int) -> None:

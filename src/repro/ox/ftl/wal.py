@@ -50,6 +50,10 @@ class WalAppender:
         self.sectors_per_chunk = geometry.sectors_per_chunk
         self.sector_size = geometry.sector_size
         self._writer = serial.FrameWriter(self.sector_size)
+        # Padding frame, built once: every flush pads to a write unit.
+        empty = serial.FrameWriter(self.sector_size)
+        empty.append(serial.encode_record(serial.REC_NOOP, b""))
+        self._noop_frame = empty.frames()[0]
         self._ring_index = 0      # which chunk in the ring
         self._next_sector = 0     # sector within that chunk
         self._seq = 0             # per-epoch sector sequence
@@ -94,10 +98,8 @@ class WalAppender:
         if not frames:
             return 0
         pad = (-len(frames)) % self.ws_min
-        empty = serial.FrameWriter(self.sector_size)
-        empty.append(serial.encode_record(serial.REC_NOOP, b""))
-        noop_frame = empty.frames()[0]
-        frames.extend([noop_frame] * pad)
+        if pad:
+            frames.extend([self._noop_frame] * pad)
 
         total = 0
         while frames:

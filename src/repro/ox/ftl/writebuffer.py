@@ -57,16 +57,18 @@ class WriteBuffer:
             raise FTLError(
                 f"payload of {len(data)} bytes exceeds sector size "
                 f"{self.sector_size}")
-        unit_start = (ppa.sector // self.ws_min) * self.ws_min
-        slot = (ppa.chunk_key(), unit_start)
+        sector = ppa[3]
+        unit_start = sector - sector % self.ws_min
+        key = ppa[:3]
+        slot = (key, unit_start)
         unit = self._units.get(slot)
         if unit is None:
-            unit = PendingUnit(key=ppa.chunk_key(), first_sector=unit_start)
+            unit = PendingUnit(key=key, first_sector=unit_start)
             self._units[slot] = unit
         expected = unit.first_sector + len(unit.ppas)
-        if ppa.sector != expected:
+        if sector != expected:
             raise FTLError(
-                f"staged sector {ppa.sector} out of order in unit "
+                f"staged sector {sector} out of order in unit "
                 f"{slot} (expected {expected})")
         unit.ppas.append(ppa)
         unit.data.append(data)

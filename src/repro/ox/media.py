@@ -37,27 +37,27 @@ class MediaManager:
         return self.device.report_geometry()
 
     # -- generator API (for use inside simulation processes) --------------------
+    #
+    # These return the device's generator directly instead of delegating
+    # with ``yield from``: callers drive them identically, but each I/O
+    # carries one generator frame less through every resume.
 
     def write_proc(self, ppas: List[Ppa], data: List[Optional[bytes]],
                    oob: Optional[List[object]] = None, fua: bool = False):
-        completion = yield from self.device.submit(
+        return self.device.submit(
             VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua))
-        return completion
 
     def read_proc(self, ppas: List[Ppa]):
-        completion = yield from self.device.submit(VectorRead(ppas=ppas))
-        return completion
+        return self.device.submit(VectorRead(ppas=ppas))
 
     def reset_proc(self, ppa: Ppa):
-        completion = yield from self.device.submit(ChunkReset(ppa=ppa))
-        return completion
+        return self.device.submit(ChunkReset(ppa=ppa))
 
     def copy_proc(self, src: List[Ppa], dst: List[Ppa]):
-        completion = yield from self.device.submit(VectorCopy(src=src, dst=dst))
-        return completion
+        return self.device.submit(VectorCopy(src=src, dst=dst))
 
     def flush_proc(self):
-        yield from self.device.flush_proc()
+        return self.device.flush_proc()
 
     # -- synchronous API ----------------------------------------------------------
 

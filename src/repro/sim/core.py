@@ -14,6 +14,13 @@ Design notes
   its delay elapses.
 * There is deliberately no wall-clock anywhere: a simulation run is a pure
   function of its inputs, which the test suite relies on.
+* The generator-driving path (``Process._resume``/``_advance``) and the
+  scheduler loops are written allocation-free: no closures per step, no
+  bootstrap Event per process, and ``yield sim.timeout(dt)`` — the dominant
+  wait in the device model — registers the resumption directly on the
+  timeout's callback list.  Every fast path consumes exactly as many
+  sequence numbers as the general path it replaces, so event ordering (and
+  therefore every simulated clock reading) is unchanged.
 """
 
 from __future__ import annotations
@@ -107,14 +114,18 @@ class Event:
         self._triggered = True
         self._ok = ok
         self.value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence += 1
+        heapq.heappush(sim._queue, (sim.now, sim._sequence, self))
 
     def _run_callbacks(self) -> None:
         self._processed = True
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
-        if not self._ok and not self._defused and not callbacks:
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(self)
+        elif not self._ok and not self._defused:
             # A failure nobody waited for must not vanish silently.
             raise self.value
 
@@ -132,12 +143,32 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Flattened Event.__init__ + immediate trigger: a timeout is born
+        # triggered, so the two-step init would write half these fields
+        # twice on the hottest allocation in the simulator.
+        self.sim = sim
         self.value = value
-        sim._schedule_event(self, delay=delay)
+        self._callbacks = []
+        self._triggered = True
+        self._processed = False
+        self._ok = True
+        self._defused = False
+        self.abandon_callback = None
+        self.delay = delay
+        sim._sequence += 1
+        heapq.heappush(sim._queue, (sim.now + delay, sim._sequence, self))
+
+
+class _BootstrapToken:
+    """Placeholder ``_waiting_on`` value between Process creation and its
+    first resumption.  Never enters the heap; only ``interrupt`` ever looks
+    at it (and finds no abandon callback)."""
+
+    __slots__ = ()
+    abandon_callback = None
+
+
+_BOOTSTRAP = _BootstrapToken()
 
 
 class Process(Event):
@@ -155,14 +186,23 @@ class Process(Event):
                 f"Process requires a generator, got {generator!r}")
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        bootstrap = Event(sim)
-        self._waiting_on: Optional[Event] = bootstrap
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # First resumption goes straight on the heap as a bound-method call
+        # instead of a throwaway bootstrap Event; one sequence number either
+        # way, so sibling processes start in the same order as before.
+        self._waiting_on: Optional[Any] = _BOOTSTRAP
+        sim._schedule_call(self._bootstrap)
 
     @property
     def is_alive(self) -> bool:
         return not self._triggered
+
+    def _bootstrap(self) -> None:
+        if self._waiting_on is not _BOOTSTRAP or self._triggered:
+            # Interrupted (or failed) before the first step ran; the
+            # scheduled Interrupt throw will reach the generator instead.
+            return
+        self._waiting_on = None
+        self._advance(None, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -183,7 +223,7 @@ class Process(Event):
         def deliver() -> None:
             if self._triggered:
                 return
-            self._advance(lambda: self._generator.throw(Interrupt(cause)))
+            self._advance(None, Interrupt(cause))
 
         self.sim._schedule_call(deliver)
 
@@ -191,25 +231,38 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         if self._triggered or event is not self._waiting_on:
-            if not event.ok:
+            if not event._ok:
                 event.defuse()
             return
         self._waiting_on = None
-        if event.ok:
-            self._advance(lambda: self._generator.send(event.value))
+        if event._ok:
+            self._advance(event.value, None)
         else:
             event.defuse()
-            exc = event.value
-            self._advance(lambda: self._generator.throw(exc))
+            self._advance(None, event.value)
 
-    def _advance(self, step: Callable[[], Any]) -> None:
+    def _advance(self, value: Any, exc: Optional[BaseException]) -> None:
+        generator = self._generator
         try:
-            target = step()
+            if exc is None:
+                target = generator.send(value)
+            else:
+                target = generator.throw(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
-            self.fail(exc)
+        except BaseException as failure:  # noqa: BLE001 - goes to joiners
+            self.fail(failure)
+            return
+        # ``yield sim.timeout(dt)`` dominates device-model waits: a fresh
+        # Timeout is by construction unprocessed with no other waiters, so
+        # the resumption hooks onto its callback list directly.
+        if target.__class__ is Timeout:
+            self._waiting_on = target
+            if target._processed:
+                target.add_callback(self._resume)
+            else:
+                target._callbacks.append(self._resume)
             return
         if not isinstance(target, Event):
             self.fail(SimulationError(
@@ -217,7 +270,10 @@ class Process(Event):
                 "processes may only yield Event instances"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._processed:
+            target.add_callback(self._resume)
+        else:
+            target._callbacks.append(self._resume)
 
 
 class Simulator:
@@ -227,6 +283,9 @@ class Simulator:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Any]] = []
         self._sequence = 0
+        # Heap entries popped and executed so far; the perf harness reports
+        # this as simulated-events-processed/sec.
+        self.events_processed = 0
 
     # -- event construction ------------------------------------------------
 
@@ -247,9 +306,14 @@ class Simulator:
 
         Its value is the list of the constituent events' values, in input
         order.  The first failure fails the aggregate immediately.
+
+        The fan-out over fresh :class:`Process` objects — how the device
+        model joins one program per parallel unit — stays on the direct
+        callback-list path below: a just-spawned process is never processed,
+        so no per-constituent scheduling round-trip is needed.
         """
         events = list(events)
-        done = self.event()
+        done = Event(self)
         remaining = len(events)
         if remaining == 0:
             done.succeed([])
@@ -257,11 +321,11 @@ class Simulator:
 
         def on_trigger(event: Event) -> None:
             nonlocal remaining
-            if done.triggered:
-                if not event.ok:
+            if done._triggered:
+                if not event._ok:
                     event.defuse()
                 return
-            if not event.ok:
+            if not event._ok:
                 event.defuse()
                 done.fail(event.value)
                 return
@@ -270,7 +334,10 @@ class Simulator:
                 done.succeed([e.value for e in events])
 
         for event in events:
-            event.add_callback(on_trigger)
+            if event._processed:
+                event.add_callback(on_trigger)
+            else:
+                event._callbacks.append(on_trigger)
         return done
 
     def any_of(self, events: Iterable[Event]) -> Event:
@@ -281,15 +348,15 @@ class Simulator:
         events = list(events)
         if not events:
             raise SimulationError("any_of() requires at least one event")
-        done = self.event()
+        done = Event(self)
 
         def make_callback(index: int) -> Callable[[Event], None]:
             def on_trigger(event: Event) -> None:
-                if done.triggered:
-                    if not event.ok:
+                if done._triggered:
+                    if not event._ok:
                         event.defuse()
                     return
-                if not event.ok:
+                if not event._ok:
                     event.defuse()
                     done.fail(event.value)
                     return
@@ -297,7 +364,10 @@ class Simulator:
             return on_trigger
 
         for index, event in enumerate(events):
-            event.add_callback(make_callback(index))
+            if event._processed:
+                event.add_callback(make_callback(index))
+            else:
+                event._callbacks.append(make_callback(index))
         return done
 
     # -- scheduling internals ----------------------------------------------
@@ -318,6 +388,7 @@ class Simulator:
         """Process the single next entry in the event queue."""
         when, __, entry = heapq.heappop(self._queue)
         self.now = when
+        self.events_processed += 1
         if isinstance(entry, Event):
             entry._run_callbacks()
         else:
@@ -333,24 +404,50 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(
                 f"cannot run until {until}; clock is already at {self.now}")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                break
-            self.step()
+        # Inlined step(): one bound-method call per event adds up over the
+        # millions of heap entries a macro run pops.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = self.events_processed
+        try:
+            while queue:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    break
+                when, __, entry = pop(queue)
+                self.now = when
+                processed += 1
+                if isinstance(entry, Event):
+                    entry._run_callbacks()
+                else:
+                    entry()
+        finally:
+            self.events_processed = processed
         if until is not None:
             self.now = max(self.now, until)
 
     def run_until(self, event: Event) -> Any:
         """Run until *event* is processed; return its value, raising if the
         event failed."""
-        while not event._processed:
-            if not self._queue:
-                raise SimulationError(
-                    "simulation deadlocked: event queue empty but the "
-                    "awaited event never triggered")
-            self.step()
-        if not event.ok:
+        queue = self._queue
+        pop = heapq.heappop
+        processed = self.events_processed
+        try:
+            while not event._processed:
+                if not queue:
+                    raise SimulationError(
+                        "simulation deadlocked: event queue empty but the "
+                        "awaited event never triggered")
+                when, __, entry = pop(queue)
+                self.now = when
+                processed += 1
+                if isinstance(entry, Event):
+                    entry._run_callbacks()
+                else:
+                    entry()
+        finally:
+            self.events_processed = processed
+        if not event._ok:
             event.defuse()
             raise event.value
         return event.value

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ZoneError
 from repro.ocssd.address import Ppa
+from repro.ocssd.chunk import pad_sector
 from repro.ox.media import MediaManager
 from repro.zns.zone import Zone, ZoneState
 
@@ -183,7 +184,7 @@ class OXZns:
         completion = yield from self.media.read_proc(ppas)
         self.media.require_ok(completion, f"zone {zone_id} read")
         self.stats.sectors_read += sectors
-        return b"".join((payload or b"").ljust(sector_size, b"\x00")
+        return b"".join(pad_sector(payload, sector_size)
                         for payload in completion.data)
 
     def reset_zone(self, zone_id: int) -> None:

@@ -1,0 +1,190 @@
+"""Regression tests for the simulation-kernel fast paths.
+
+The kernel special-cases the hottest patterns — a process blocked on a
+bare timeout, ``all_of`` over freshly spawned processes, and the tuple
+heap entries — and these tests pin down the semantics those fast paths
+must preserve: interrupt/abandon behaviour, first-failure propagation,
+and bit-identical replay of identical workloads.
+"""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+# -- interrupting a timeout-blocked process (the Timeout fast path) ------------
+
+
+def test_interrupt_of_timeout_blocked_process_delivers_cause():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+        return ("slept", None, sim.now)
+
+    proc = sim.spawn(sleeper(sim))
+
+    def killer(sim):
+        yield sim.timeout(1.5)
+        proc.interrupt(cause="shutdown")
+
+    sim.spawn(killer(sim))
+    assert sim.run_until(proc) == ("interrupted", "shutdown", 1.5)
+
+
+def test_interrupted_timeout_never_resumes_process_again():
+    """The stale timeout still fires in the heap; its callback must see the
+    process no longer waiting on it and do nothing (abandon semantics)."""
+    sim = Simulator()
+    wakeups = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(10.0)
+            wakeups.append("original-timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        yield sim.timeout(50.0)  # outlives the stale 10.0 timeout
+        wakeups.append("second-timeout")
+        return sim.now
+
+    proc = sim.spawn(sleeper(sim))
+
+    def killer(sim):
+        yield sim.timeout(2.0)
+        proc.interrupt()
+
+    sim.spawn(killer(sim))
+    # Run well past the abandoned timeout's expiry.
+    assert sim.run_until(proc) == 52.0
+    assert wakeups == ["interrupt", "second-timeout"]
+
+
+def test_interrupt_timeout_blocked_process_twice():
+    """A second interrupt while the process handles the first must also be
+    delivered exactly once, in order."""
+    sim = Simulator()
+    seen = []
+
+    def sleeper(sim):
+        for _ in range(2):
+            try:
+                yield sim.timeout(10.0)
+                seen.append("timeout")
+            except Interrupt as interrupt:
+                seen.append(interrupt.cause)
+        return sim.now
+
+    proc = sim.spawn(sleeper(sim))
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        proc.interrupt(cause="first")
+        yield sim.timeout(1.0)
+        proc.interrupt(cause="second")
+
+    sim.spawn(killer(sim))
+    sim.run_until(proc)
+    assert seen == ["first", "second"]
+
+
+# -- all_of failure propagation -----------------------------------------------
+
+
+class BoomError(Exception):
+    pass
+
+
+def test_all_of_propagates_first_failure():
+    sim = Simulator()
+
+    def ok(sim, delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def boom(sim, delay, label):
+        yield sim.timeout(delay)
+        raise BoomError(label)
+
+    def waiter(sim):
+        procs = [sim.spawn(ok(sim, 5.0)),
+                 sim.spawn(boom(sim, 1.0, "early")),
+                 sim.spawn(boom(sim, 3.0, "late"))]
+        try:
+            yield sim.all_of(procs)
+        except BoomError as exc:
+            return (str(exc), sim.now)
+        return ("no failure", sim.now)
+
+    # The earliest failure is the one delivered, at its own timestamp;
+    # the later failure is defused and must not crash the run.
+    result = sim.run_until(sim.spawn(waiter(sim)))
+    assert result == ("early", 1.0)
+    sim.run()  # drain the surviving timeouts; no unhandled failure raises
+
+
+def test_all_of_success_values_keep_input_order():
+    sim = Simulator()
+
+    def ok(sim, delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def waiter(sim):
+        procs = [sim.spawn(ok(sim, d)) for d in (3.0, 1.0, 2.0)]
+        values = yield sim.all_of(procs)
+        return values
+
+    assert sim.run_until(sim.spawn(waiter(sim))) == [3.0, 1.0, 2.0]
+
+
+# -- determinism: identical runs, identical trajectories -----------------------
+
+
+def _contended_workload():
+    """A workload with many same-instant wakeups contending for a lock, so
+    any drift in event ordering shows up in the log."""
+    import random
+
+    from repro.sim import Resource
+
+    sim = Simulator()
+    lock = Resource(sim)
+    rng = random.Random(1234)
+    log = []
+
+    def worker(sim, ident, delay, hold):
+        yield sim.timeout(delay)
+        grant = lock.request()
+        yield grant
+        try:
+            log.append((ident, sim.now))
+            yield sim.timeout(hold)
+        finally:
+            lock.release()
+
+    procs = []
+    for ident in range(40):
+        delay = rng.choice([1.0, 1.0, 2.0, 3.0])   # deliberate ties
+        hold = rng.choice([0.5, 0.25])
+        procs.append(sim.spawn(worker(sim, ident, delay, hold)))
+
+    def join(sim):
+        yield sim.all_of(procs)
+        return sim.now
+
+    final = sim.run_until(sim.spawn(join(sim)))
+    return final, tuple(log), sim.events_processed
+
+
+def test_double_run_is_bit_identical_including_stats():
+    first = _contended_workload()
+    second = _contended_workload()
+    assert first == second
+    # Ties at the same instant resolved by spawn order, not dict/hash order.
+    final, log, events = first
+    assert len(log) == 40
+    assert events > 0
