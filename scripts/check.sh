@@ -15,4 +15,7 @@ python -m pytest -x -q
 echo "== perf smoke (regression gate) =="
 python benchmarks/bench_perf_trajectory.py --smoke --check --no-append
 
+echo "== crash-consistency smoke (randomized power cuts) =="
+python -m repro.faults.checker --seeds 20
+
 echo "check: OK"

@@ -59,3 +59,7 @@ class ZoneError(ReproError):
 
 class ContractViolation(ReproError):
     """A measured behaviour violated a declared performance contract."""
+
+
+class InvariantViolation(ReproError):
+    """A crash-consistency invariant did not hold after recovery."""

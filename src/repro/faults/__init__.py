@@ -1,0 +1,14 @@
+"""Deterministic fault injection and crash-consistency checking.
+
+``repro.faults`` is the failure-testing companion to the simulator: it
+attaches to one :class:`~repro.ocssd.device.OpenChannelSSD` and makes the
+kinds of things go wrong that the paper's durability machinery (§4.3 WAL +
+checkpoints + recovery) exists to survive — power cuts at arbitrary
+points, program/erase/read failures, grown bad blocks, torn write units.
+Everything is driven by one seeded RNG per plan, so a failing scenario is
+a (seed, plan) pair that replays exactly.
+"""
+
+from repro.faults.model import FaultInjector, FaultPlan, FaultStats
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultStats"]

@@ -1,0 +1,213 @@
+"""The fault injector: a seeded plan of what breaks, and when.
+
+Design rules:
+
+* **Zero cost when disabled.**  The device and every chip carry a
+  ``faults`` attribute that is ``None`` in normal operation; the hot paths
+  pay one attribute load and identity check per media op, nothing else.
+* **Deterministic.**  All randomness comes from one ``random.Random``
+  seeded by the plan; media ops are counted in simulation order, so the
+  same (plan, workload) pair replays the same faults and the same cut.
+* **Power cuts reuse the crash contract.**  A cut optionally tears the
+  admitted-but-unflushed tail of some chunks at sector granularity (a
+  torn ``ws_min`` write unit), then calls the device's
+  :meth:`~repro.ocssd.device.OpenChannelSSD.crash_volatile` — the same
+  epoch-bump / cache-drop / write-pointer-rollback path the controller
+  already implements — and freezes the media: every later command
+  completes with ``POWER_FAIL`` until :meth:`FaultInjector.restore_power`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.ocssd.device import OpenChannelSSD
+
+PuKey = Tuple[int, int]
+BlockKey = Tuple[int, int, int]   # (group, pu, block index)
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic description of what goes wrong, and when."""
+
+    seed: int = 0
+    #: Per-program-operation probability of a permanent program failure
+    #: (the block grows bad, the op raises ``MediaError``).
+    program_fail_prob: float = 0.0
+    #: Per-read-operation probability of an uncorrectable read error.
+    read_fail_prob: float = 0.0
+    #: Per-erase-operation probability of an erase failure (block retires).
+    erase_fail_prob: float = 0.0
+    #: ``(group, pu, block) -> erase cycle`` at which the block grows bad.
+    grown_bad: Dict[BlockKey, int] = field(default_factory=dict)
+    #: Cut power once the device has performed this many media ops.
+    power_cut_at_op: Optional[int] = None
+    #: Cut power at this simulated time (checked on the next media op).
+    power_cut_at_time: Optional[float] = None
+    #: Probability that a chunk with admitted-but-unflushed sectors keeps
+    #: a partial prefix of them at the cut (a torn write unit).
+    torn_unit_prob: float = 0.0
+    #: Groups exempt from the *probabilistic* faults — e.g. a metadata
+    #: region a deployment would put on SLC.  Power cuts and torn units
+    #: still apply everywhere.
+    protect_groups: FrozenSet[int] = frozenset()
+
+    def validate(self) -> None:
+        for name in ("program_fail_prob", "read_fail_prob",
+                     "erase_fail_prob", "torn_unit_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value}")
+        if self.power_cut_at_op is not None and self.power_cut_at_op < 1:
+            raise ReproError(
+                f"power_cut_at_op must be >= 1, got {self.power_cut_at_op}")
+
+
+@dataclass
+class FaultStats:
+    media_ops: int = 0
+    programs_failed: int = 0
+    reads_failed: int = 0
+    erases_failed: int = 0
+    power_cuts: int = 0
+    torn_chunks: int = 0
+    torn_sectors_kept: int = 0
+    ops_rejected_off: int = 0
+
+
+class FaultInjector:
+    """Attaches one :class:`FaultPlan` to one device."""
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        self.device: Optional["OpenChannelSSD"] = None
+        self.powered = True
+        self.tripped = False          # has the power cut fired?
+        self.cut_time: Optional[float] = None
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._quiesced = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, device: "OpenChannelSSD") -> "FaultInjector":
+        if self.device is not None:
+            raise ReproError("fault injector is already attached")
+        self.device = device
+        device.faults = self
+        for (group, pu), chip in device.chips.items():
+            chip.faults = self
+            chip.fault_key = (group, pu)
+        return self
+
+    def detach(self) -> None:
+        if self.device is None:
+            return
+        self.device.faults = None
+        for chip in self.device.chips.values():
+            chip.faults = None
+        self.device = None
+
+    def quiesce(self) -> None:
+        """Stop injecting: probabilistic faults, grown-bad plans and pending
+        cuts are all disabled.  Recovery runs call this so the post-crash
+        world is only as broken as the crash left it."""
+        self._quiesced = True
+
+    def restore_power(self) -> None:
+        """Re-power the device after a cut.  Media state stays exactly as
+        the cut froze it; volatile state was already discarded."""
+        self.powered = True
+
+    # -- chip / device hook entry points ----------------------------------
+
+    def on_media_op(self, kind: str) -> bool:
+        """Count one media op and fire a pending power cut.
+
+        Returns False when the device is unpowered: the op must then have
+        no effect at all (the chip returns 0.0 media time untouched).
+        """
+        if not self.powered:
+            self.stats.ops_rejected_off += 1
+            return False
+        if self._quiesced:
+            return True
+        self.stats.media_ops += 1
+        plan = self.plan
+        if (plan.power_cut_at_op is not None
+                and self.stats.media_ops >= plan.power_cut_at_op):
+            self.power_cut()
+            return False
+        if (plan.power_cut_at_time is not None
+                and self.device.sim.now >= plan.power_cut_at_time):
+            self.power_cut()
+            return False
+        return True
+
+    def _roll(self, key: PuKey, prob: float) -> bool:
+        if self._quiesced or not prob or key[0] in self.plan.protect_groups:
+            return False
+        return self._rng.random() < prob
+
+    def program_fails(self, key: PuKey) -> bool:
+        if self._roll(key, self.plan.program_fail_prob):
+            self.stats.programs_failed += 1
+            return True
+        return False
+
+    def read_fails(self, key: PuKey) -> bool:
+        if self._roll(key, self.plan.read_fail_prob):
+            self.stats.reads_failed += 1
+            return True
+        return False
+
+    def erase_fails(self, key: PuKey, block: int, erase_count: int) -> bool:
+        if not self._quiesced:
+            planned = self.plan.grown_bad.get((key[0], key[1], block))
+            if planned is not None and erase_count >= planned:
+                self.stats.erases_failed += 1
+                return True
+        if self._roll(key, self.plan.erase_fail_prob):
+            self.stats.erases_failed += 1
+            return True
+        return False
+
+    # -- the cut ----------------------------------------------------------
+
+    def power_cut(self) -> None:
+        """Cut power now.
+
+        First, optionally tear: each chunk with admitted-but-unflushed
+        sectors keeps, with ``torn_unit_prob``, a random non-empty prefix
+        of them — the partially-programmed write unit a real power loss
+        leaves behind.  Then the device loses everything volatile
+        (``crash_volatile``) and goes dark until ``restore_power``.
+        """
+        if self.device is None:
+            raise ReproError("fault injector is not attached to a device")
+        if self.tripped:
+            return
+        self.tripped = True
+        self.powered = False
+        self.cut_time = self.device.sim.now
+        self.stats.power_cuts += 1
+        torn_prob = self.plan.torn_unit_prob
+        if torn_prob:
+            for chunk in self.device.chunks.values():
+                unflushed = chunk.write_pointer - chunk.flushed_pointer
+                if unflushed <= 0:
+                    continue
+                if self._rng.random() >= torn_prob:
+                    continue
+                keep = self._rng.randrange(1, unflushed + 1)
+                chunk.mark_flushed(chunk.flushed_pointer + keep)
+                self.stats.torn_chunks += 1
+                self.stats.torn_sectors_kept += keep
+        self.device.crash_volatile()

@@ -76,6 +76,10 @@ class FlashChip:
         self._group_sectors = (self.geometry.sectors_per_page
                                * self.geometry.planes)
         self._paired_pages = self.geometry.cell.bits_per_cell
+        # Fault injection (repro.faults): None in normal operation, so the
+        # hot paths pay one attribute load + identity check per op.
+        self.faults = None
+        self.fault_key = (0, 0)   # (group, pu) — set by FaultInjector.attach
         for index in factory_bad or []:
             self.blocks[index].state = BlockState.BAD
 
@@ -109,6 +113,18 @@ class FlashChip:
         block = self._block(index)
         if block.state is _B_BAD:
             raise MediaError(f"erase of bad block {index}")
+        faults = self.faults
+        if faults is not None:
+            if not faults.on_media_op("erase"):
+                return 0.0      # powered off: the erase never happens
+            if faults.erase_fails(self.fault_key, index,
+                                  block.erase_count + 1):
+                block.erase_count += 1
+                self.stats.erases += 1
+                block.state = _B_BAD
+                raise MediaError(
+                    f"block {index} failed erase at cycle "
+                    f"{block.erase_count} (injected fault)")
         block.erase_count += 1
         self.stats.erases += 1
         elapsed = self.timing.erase_time()
@@ -143,6 +159,14 @@ class FlashChip:
                 f"program overflows block {index}: "
                 f"{block.sectors_programmed} + {sectors} > "
                 f"{self.sectors_per_block}")
+        faults = self.faults
+        if faults is not None:
+            if not faults.on_media_op("program"):
+                return 0.0      # powered off: nothing reaches the array
+            if faults.program_fails(self.fault_key):
+                block.state = _B_BAD
+                raise MediaError(
+                    f"block {index} failed program (injected fault)")
         block.sectors_programmed += sectors
         block.state = (_B_FULL
                        if block.sectors_programmed == self._block_sectors
@@ -178,6 +202,14 @@ class FlashChip:
         last_group = (first_sector + sectors - 1) // group
         page_groups = last_group - first_group + 1
         self.stats.reads += page_groups
+        faults = self.faults
+        if faults is not None:
+            if not faults.on_media_op("read"):
+                return 0.0
+            if faults.read_fails(self.fault_key):
+                raise MediaError(
+                    f"uncorrectable read error in block {index} "
+                    f"(injected fault)")
         if self.wear.read_fails(block.erase_count):
             raise MediaError(
                 f"uncorrectable read error in block {index} "

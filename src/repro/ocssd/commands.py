@@ -21,6 +21,7 @@ class CommandStatus(enum.Enum):
     READ_FAILED = "read-failed"
     RESET_FAILED = "reset-failed"
     INVALID = "invalid"
+    POWER_FAIL = "power-fail"
 
 
 @dataclass(slots=True)
@@ -70,16 +71,26 @@ class ChunkReset:
 class VectorCopy:
     """Device-internal copy: move sectors ``src[i]`` to ``dst[i]`` without
     transferring data to the host.  Destinations obey the same sequential
-    write rules as :class:`VectorWrite`."""
+    write rules as :class:`VectorWrite`.
+
+    ``dst_oob``, when given, replaces the source OOB for each destination
+    sector; GC uses it to mark relocation padding as unowned instead of
+    letting a pad inherit the live LBA of the sector it re-copies.
+    """
 
     src: List[Ppa]
     dst: List[Ppa]
+    dst_oob: Optional[List[object]] = None
 
     def __post_init__(self) -> None:
         if len(self.src) != len(self.dst):
             raise ValueError(
                 f"vector copy with {len(self.src)} sources but "
                 f"{len(self.dst)} destinations")
+        if self.dst_oob is not None and len(self.dst_oob) != len(self.dst):
+            raise ValueError(
+                f"vector copy with {len(self.dst)} destinations but "
+                f"{len(self.dst_oob)} OOB overrides")
 
 
 @dataclass(slots=True)

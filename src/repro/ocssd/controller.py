@@ -21,10 +21,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MediaError
-from repro.nand.chip import FlashChip
+from repro.nand.chip import BlockState, FlashChip
 from repro.ocssd.address import Ppa
 from repro.ocssd.cache import WriteBackCache
-from repro.ocssd.chunk import Chunk
+from repro.ocssd.chunk import Chunk, ChunkState
 from repro.ocssd.geometry import DeviceGeometry
 from repro.sim.core import Simulator
 from repro.sim.resources import Resource, Store
@@ -112,6 +112,22 @@ class Controller:
         self._wake_idle_waiters()
         for chunk in self.chunks.values():
             chunk.rollback_unflushed()
+            # A chip advances its block's append point when the program is
+            # *issued*, before the media time elapses; a cut mid-program
+            # therefore leaves the block ahead of the rolled-back chunk.
+            # Resync, or post-recovery programs at the chunk write pointer
+            # would overflow the phantom sectors.
+            if chunk.state is ChunkState.OFFLINE:
+                continue
+            chip = self._ctx[chunk][0]
+            block = chip.blocks[chunk.address.chunk]
+            if block.state is BlockState.BAD:
+                continue
+            wp = chunk.write_pointer
+            block.sectors_programmed = wp
+            block.state = (BlockState.FREE if wp == 0
+                           else BlockState.FULL if wp == chunk.capacity
+                           else BlockState.OPEN)
 
     # -- write path ---------------------------------------------------------------
 
@@ -283,6 +299,7 @@ class Controller:
             yield self.sim.timeout(elapsed)
             if epoch == self._epoch:
                 chunk.reset()
+            self.stats.chunk_resets += 1
             return True
         finally:
             lock.release()

@@ -58,6 +58,9 @@ class ChunkDescriptor:
     write_pointer: int
     capacity: int
     wear_index: int
+    #: Sectors durably on NAND; the [flushed_pointer, write_pointer)
+    #: window is admitted but still volatile (write-back cache).
+    flushed_pointer: int = 0
 
 
 _Run = Tuple[Chunk, int, int, int]  # (chunk, first_sector, count, offset)
@@ -68,6 +71,7 @@ _WRITE_FAILED = CommandStatus.WRITE_FAILED
 _READ_FAILED = CommandStatus.READ_FAILED
 _RESET_FAILED = CommandStatus.RESET_FAILED
 _INVALID = CommandStatus.INVALID
+_POWER_FAIL = CommandStatus.POWER_FAIL
 
 
 class OpenChannelSSD:
@@ -105,6 +109,9 @@ class OpenChannelSSD:
                 self.chunks[(group, pu, chunk_index)] = chunk
 
         self.notifications: List[ChunkNotification] = []
+        # Fault injection (repro.faults): None unless an injector is
+        # attached, so the disabled case costs one check per submit.
+        self.faults = None
         self.controller = Controller(
             self.sim, self.geometry, self.chips, self.chunks,
             notify=self._notify, write_back=write_back,
@@ -122,7 +129,8 @@ class OpenChannelSSD:
         return ChunkDescriptor(ppa=chunk.address, state=chunk.state,
                                write_pointer=chunk.write_pointer,
                                capacity=chunk.capacity,
-                               wear_index=chunk.wear_index)
+                               wear_index=chunk.wear_index,
+                               flushed_pointer=chunk.flushed_pointer)
 
     def iter_chunk_info(self) -> Iterator[ChunkDescriptor]:
         """Walk every chunk descriptor in address order (recovery scans).
@@ -134,7 +142,8 @@ class OpenChannelSSD:
             yield ChunkDescriptor(ppa=chunk.address, state=chunk.state,
                                   write_pointer=chunk.write_pointer,
                                   capacity=chunk.capacity,
-                                  wear_index=chunk.wear_index)
+                                  wear_index=chunk.wear_index,
+                                  flushed_pointer=chunk.flushed_pointer)
 
     def pop_notifications(self) -> List[ChunkNotification]:
         """Drain the asynchronous notification log."""
@@ -146,6 +155,13 @@ class OpenChannelSSD:
     def submit(self, command):
         """Process generator executing *command*; returns a Completion."""
         submitted = self.sim.now
+        faults = self.faults
+        if faults is not None and not faults.powered:
+            completion = Completion(status=_POWER_FAIL,
+                                    error="device is powered off")
+            completion.submitted_at = submitted
+            completion.completed_at = self.sim.now
+            return completion
         try:
             # Reads outnumber every other command; test them first.
             if isinstance(command, VectorRead):
@@ -183,8 +199,9 @@ class OpenChannelSSD:
     def reset(self, ppa: Ppa) -> Completion:
         return self.execute(ChunkReset(ppa=ppa))
 
-    def copy(self, src: List[Ppa], dst: List[Ppa]) -> Completion:
-        return self.execute(VectorCopy(src=src, dst=dst))
+    def copy(self, src: List[Ppa], dst: List[Ppa],
+             dst_oob: Optional[List[object]] = None) -> Completion:
+        return self.execute(VectorCopy(src=src, dst=dst, dst_oob=dst_oob))
 
     def flush(self) -> None:
         """Synchronously drain the write-back cache to NAND."""
@@ -197,6 +214,11 @@ class OpenChannelSSD:
     def crash_volatile(self) -> None:
         """Power-fail / controller-kill: lose everything volatile."""
         self.controller.crash_volatile()
+
+    def attach_faults(self, injector) -> None:
+        """Wire a :class:`repro.faults.FaultInjector` into this device and
+        its chips (the reverse of leaving ``faults`` as ``None``)."""
+        injector.attach(self)
 
     # -- internals ------------------------------------------------------------------
 
@@ -311,6 +333,8 @@ class OpenChannelSSD:
         for chunk, first_sector, count, offset in src_runs:
             payloads[offset:offset + count] = chunk.read(first_sector, count)
             oobs[offset:offset + count] = chunk.read_oob(first_sector, count)
+        if command.dst_oob is not None:
+            oobs = list(command.dst_oob)
 
         dst_runs = self._split_runs(command.dst)
         for chunk, first_sector, count, offset in dst_runs:

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import FTLError, OutOfSpaceError
+from repro.errors import FTLError, OutOfSpaceError, ReproError
 from repro.ocssd.address import Ppa
 from repro.ocssd.chunk import pad_sector
 from repro.ox.ftl.checkpoint import CheckpointManager
@@ -52,6 +52,9 @@ class BlockConfig:
     gc_enabled: bool = True
     gc_low_watermark: int = 4        # free chunks that trigger GC
     gc_high_watermark: int = 8       # free chunks GC aims for
+    # Free chunks per group only GC may open: keeps relocation possible
+    # when user writes have consumed everything else.
+    gc_headroom_chunks: int = 1
     replay_cpu_per_record: float = 2e-6
     wal_pressure_threshold: float = 0.6   # force a checkpoint beyond this
 
@@ -85,6 +88,12 @@ class OXBlock:
         self.page_map = page_map
         self.chunk_table = chunk_table
         self.provisioner = provisioner
+        provisioner.gc_headroom = (config.gc_headroom_chunks
+                                   if config.gc_enabled else 0)
+        # LBAs whose data was dropped after an async chunk retirement
+        # (read as zeroes from then on); fault/crash harnesses use this to
+        # tell "lost to a media fault" from "lost to a bug".
+        self.lost_lbas: List[int] = []
         self.buffer = WriteBuffer(self.geometry.ws_min,
                                   self.geometry.sector_size)
         self.wal = WalAppender(media, layout.wal_chunks, epoch)
@@ -94,8 +103,12 @@ class OXBlock:
         self._lock = Resource(self.sim, capacity=1, name="dispatch")
         self._alive = True
         self.stats = BlockStats()
-        self.gc = GarbageCollector(media, page_map, chunk_table, provisioner,
-                                   self.wal, self._take_txn_id)
+        self.gc = GarbageCollector(
+            media, page_map, chunk_table, provisioner, self.wal,
+            self._take_txn_id,
+            volatile_pending=lambda: bool(self.buffer.partial_units()),
+            stabilize_proc=self._gc_stabilize_proc,
+            wal_relief_proc=self._checkpoint_on_pressure_proc)
         self._gc_wakeup = self.sim.event()
         self._daemons = []
         if config.gc_enabled:
@@ -197,6 +210,15 @@ class OXBlock:
         grant = self._lock.request()
         yield grant
         try:
+            # Both of these run *before* the transaction mutates anything:
+            # a checkpoint persists whatever the map says, and GC trusts
+            # the map to tell live data from dead, so neither may observe
+            # a transaction half-staged.  Relieving WAL pressure and
+            # reclaiming space up front (instead of inline, mid-loop) is
+            # what makes that ordering possible.
+            yield from self._checkpoint_on_pressure_proc()
+            if self.provisioner.sectors_available("user") < count:
+                yield from self._reclaim_space_proc(count)
             txn_id = self._take_txn_id()
             entries: List[Tuple[int, int, int]] = []
             completed_units: List[PendingUnit] = []
@@ -210,10 +232,25 @@ class OXBlock:
             add_valid = self.chunk_table.add_valid
             for index in range(count):
                 try:
+                    # Space was ensured above and the lock is held with no
+                    # yields since, so this cannot run dry; the handler is
+                    # insurance against accounting drift.
                     ppa = allocate("user")
                 except OutOfSpaceError:
-                    # Slow path: run GC inline, then retry the allocation.
-                    ppa = yield from self._allocate_sector_proc()
+                    # The txn dies before its WAL append: unwind the
+                    # map/table mutations of the sectors already staged,
+                    # or a later checkpoint would persist a torn
+                    # transaction that was never acknowledged.
+                    self._unwind_partial_txn(entries)
+                    # Units the loop already completed left the buffer;
+                    # they must still reach the device (as dead data) or
+                    # the chunk write pointer falls behind the
+                    # allocation cursor for good.
+                    if completed_units:
+                        yield self.sim.all_of(
+                            [self.sim.spawn(self._write_unit_proc(u))
+                             for u in completed_units])
+                    raise
                 cur = lba + index
                 payload = view[index * sector_size:(index + 1) * sector_size]
                 unit = stage(cur, ppa, payload)
@@ -231,7 +268,25 @@ class OXBlock:
                           for unit in completed_units]
             self.wal.append_map_update(txn_id, entries)
             self.wal.append_commit(txn_id)
-            yield from self.wal.flush_proc()
+            try:
+                yield from self.wal.flush_proc()
+            except ReproError as exc:
+                # The txn was never acknowledged.  A WAL-ring exhaustion
+                # (FTLError) leaves the media untouched, so the map
+                # mutations must be unwound; a device-level failure
+                # (power cut mid-flush) leaves commit durability unknown
+                # and the mapping stays — recovery decides.  Either way
+                # the in-flight unit writes must be joined, or their
+                # (likely failing) completions surface as unhandled
+                # events after the lock is gone.
+                if isinstance(exc, FTLError):
+                    self._unwind_partial_txn(entries)
+                if unit_procs:
+                    try:
+                        yield self.sim.all_of(unit_procs)
+                    except ReproError:
+                        pass   # surface the original failure
+                raise
             if len(unit_procs) == 1:
                 # A Process is an Event: join it without an all_of wrapper.
                 yield unit_procs[0]
@@ -294,6 +349,7 @@ class OXBlock:
         grant = self._lock.request()
         yield grant
         try:
+            yield from self._checkpoint_on_pressure_proc()
             txn_id = self._take_txn_id()
             entries: List[Tuple[int, int, int]] = []
             for index in range(sectors):
@@ -307,7 +363,16 @@ class OXBlock:
             if entries:
                 self.wal.append_map_update(txn_id, entries)
                 self.wal.append_commit(txn_id)
-                yield from self.wal.flush_proc()
+                try:
+                    yield from self.wal.flush_proc()
+                except FTLError:
+                    # Never acknowledged: put the mappings back so the
+                    # in-memory state matches what recovery would build.
+                    for cur, __, previous in reversed(entries):
+                        self.page_map.update(cur, previous)
+                        self.chunk_table.add_valid(
+                            self.geometry.delinearize(previous).chunk_key())
+                    raise
         finally:
             self._lock.release()
         self.stats.trims += 1
@@ -353,28 +418,78 @@ class OXBlock:
                     if self.geometry.delinearize(linear).chunk_key() == key]
             for lba in lost:
                 self.page_map.remove(lba)
+            # Partial write units headed for the dead chunk can never be
+            # programmed; drop them or the next forced flush would try.
+            self.buffer.drop_chunk(key)
             info.valid_count = 0
             self.provisioner.retire_chunk(key)
             info.state = FtlChunkState.BAD
             self.stats.chunks_retired += 1
             self.stats.sectors_lost += len(lost)
+            self.lost_lbas.extend(lost)
 
     def _take_txn_id(self) -> int:
         txn_id = self._next_txn_id
         self._next_txn_id += 1
         return txn_id
 
-    def _allocate_sector_proc(self):
-        """Allocate one data sector, running GC inline if space ran out."""
-        try:
-            return self.provisioner.allocate_sector("user")
-        except OutOfSpaceError:
-            recycled = yield from self.gc.collect_until_locked_proc(
-                max(1, self.config.gc_low_watermark))
-            if not recycled:
-                raise
-            return self.provisioner.allocate_sector("user")
-        yield  # pragma: no cover - makes this a generator on the fast path
+    def _unwind_partial_txn(
+            self, entries: List[Tuple[int, int, int]]) -> None:
+        """Roll back the map/table effects of an aborted write txn.
+
+        The staged sectors still reach media as dead data (their units
+        flush with the txn's lbas in OOB, but nothing maps to them), which
+        is exactly what the GC scan expects of superseded sectors.
+        """
+        for cur, linear, previous in reversed(entries):
+            self.buffer.discard(cur)
+            self.chunk_table.invalidate(
+                self.geometry.delinearize(linear).chunk_key())
+            if previous == NO_PPA:
+                self.page_map.remove(cur)
+            else:
+                previous_ppa = self.geometry.delinearize(previous)
+                self.page_map.update(cur, previous)
+                self.chunk_table.add_valid(previous_ppa.chunk_key())
+                # The previous copy may itself still be staged (acked from
+                # the buffer, not yet programmed): re-expose it, or reads
+                # of this lba have no copy anywhere until the unit lands.
+                self.buffer.restore_readable(cur, previous_ppa)
+
+    def _reclaim_space_proc(self, sectors: int):
+        """Run GC under the (held) dispatch lock until the user stream
+        can allocate *sectors* more sectors.
+
+        Called before the transaction stages anything, so the collector
+        sees a consistent mapping table and may even checkpoint between
+        victims to relieve WAL pressure.  Raises
+        :class:`OutOfSpaceError` when collection cannot free enough.
+        """
+        stalled = 0
+        while self.provisioner.sectors_available("user") < sectors:
+            before = self.provisioner.sectors_available("user")
+            progressed = yield from self.gc.collect_once_locked_proc()
+            # "Recycled a chunk" is not the same as "freed space": on a
+            # device full of live data GC can relocate a nearly-live
+            # victim and spend as many sectors as it frees, forever.
+            # Tolerate one zero-gain round (the gain can land a round
+            # late when relocation opens a fresh gc chunk), then give up.
+            if progressed \
+                    and self.provisioner.sectors_available("user") > before:
+                stalled = 0
+                continue
+            stalled += 1
+            if not progressed or stalled > 1:
+                raise OutOfSpaceError(
+                    f"cannot reclaim {sectors} sectors for stream 'user'")
+
+    def _gc_stabilize_proc(self):
+        """Durability barrier for GC: after this, every acked transaction
+        is fully on NAND, so recovery can never drop one and resurrect a
+        mapping into a chunk GC is about to erase.  Runs under the
+        dispatch lock (GC holds it), so no new txn can race in."""
+        yield from self._flush_partial_unit_proc()
+        yield from self.media.flush_proc()
 
     def _write_unit_proc(self, unit: PendingUnit):
         completion = yield from self.media.write_proc(
@@ -394,9 +509,14 @@ class OXBlock:
             if unit is not None:
                 units.append(unit)
             remaining -= 1
-        for unit in self.buffer.take_partial_units():
-            # Should not happen: padding always completes the unit.
-            units.append(unit)
+        leftovers = self.buffer.take_partial_units()
+        if leftovers:
+            # Padding fills exactly the provisioner's unit remainder, so
+            # a surviving partial unit means the cursor and the buffer
+            # disagree — fail loudly instead of writing a short unit.
+            raise FTLError(
+                f"{len(leftovers)} partial unit(s) survived flush "
+                f"padding: write buffer and allocation cursor disagree")
         procs = [self.sim.spawn(self._write_unit_proc(unit))
                  for unit in units]
         if procs:
@@ -457,6 +577,13 @@ class OXBlock:
                 try:
                     yield from self.gc.collect_until_locked_proc(
                         self.config.gc_high_watermark)
+                except ReproError:
+                    # A failed victim scan, copy or reset must not kill
+                    # the collector for the rest of the FTL's life: the
+                    # victim stays where it is and the next wakeup
+                    # retries.  (Power loss lands here too; the daemon
+                    # then parks until crash() interrupts it.)
+                    pass
                 finally:
                     self._lock.release()
         except Interrupt:
@@ -470,6 +597,9 @@ class OXBlock:
                 yield self.sim.timeout(interval)
                 if not self._alive:
                     return
-                yield from self._checkpoint_locked_proc()
+                try:
+                    yield from self._checkpoint_locked_proc()
+                except ReproError:
+                    pass   # retry at the next interval
         except Interrupt:
             return

@@ -13,6 +13,18 @@ Relocation is crash-safe by ordering: device-internal copy, device flush
 (copies durable), WAL commit of the map updates, only then the victim
 reset.  Validity is re-checked under the dispatch lock after the copy, so
 a user overwrite racing the relocation can never be undone.
+
+Two more rules keep crashes survivable:
+
+* A victim is only collected if its live data *fits* in the group's
+  remaining GC space (checked up front) — GC runs because space is low,
+  so an allocation failure halfway through a relocation would strand
+  copies that were made but never committed.
+* A victim sector whose mapping points elsewhere is only *dead* if that
+  superseding copy is durable.  If the newer copy still sits in the write
+  buffer or device cache, resetting the old chunk now and crashing would
+  leave recovery with a committed mapping (from an earlier checkpoint)
+  into erased flash.  Such victims are deferred, not collected.
 """
 
 from __future__ import annotations
@@ -39,6 +51,10 @@ class GcStats:
     resets: int = 0
     reset_failures: int = 0
     group_rotations: int = 0
+    #: Victims skipped because the group lacked relocation space.
+    skips_no_space: int = 0
+    #: Victims deferred because a superseding copy was not yet durable.
+    deferrals_unsafe: int = 0
 
 
 class GarbageCollector:
@@ -51,7 +67,10 @@ class GarbageCollector:
 
     def __init__(self, media: MediaManager, page_map: PageMap,
                  chunk_table: ChunkTable, provisioner: Provisioner,
-                 wal: WalAppender, next_txn_id: Callable[[], int]):
+                 wal: WalAppender, next_txn_id: Callable[[], int],
+                 volatile_pending: Optional[Callable[[], bool]] = None,
+                 stabilize_proc: Optional[Callable] = None,
+                 wal_relief_proc: Optional[Callable] = None):
         self.media = media
         self.geometry = media.geometry
         self.page_map = page_map
@@ -59,6 +78,19 @@ class GarbageCollector:
         self.provisioner = provisioner
         self.wal = wal
         self.next_txn_id = next_txn_id
+        # An acked transaction with sectors still staged in the FTL write
+        # buffer can be dropped whole by recovery, rolling its lbas back
+        # to mappings a reset would erase.  The FTL reports that state
+        # (volatile_pending) and offers a barrier that clears it
+        # (stabilize_proc: pad the partial unit, drain the device).
+        self.volatile_pending = volatile_pending or (lambda: False)
+        self.stabilize_proc = stabilize_proc
+        # Relocation commits consume WAL space but never truncate it; a
+        # long collection run could exhaust the ring for everyone.  The
+        # FTL provides a between-victims pressure valve (checkpoint) that
+        # is safe to run exactly here: no transaction is mid-stage while
+        # GC holds the dispatch lock.
+        self.wal_relief_proc = wal_relief_proc
         self.marked_group = 0
         self.stats = GcStats()
 
@@ -76,15 +108,43 @@ class GarbageCollector:
             self.stats.group_rotations += 1
         return None
 
+    def _fits(self, victim: FtlChunkInfo) -> bool:
+        """Would the victim's live data fit in its group's GC space?
+
+        Victims are scanned least-live first, so when the smallest one
+        does not fit, nothing in the group does.  Worst case: every live
+        sector needs relocating, plus padding to a whole write unit.
+        """
+        if not victim.valid_count:
+            return True
+        needed = -(-victim.valid_count // self.geometry.ws_min)
+        return self.provisioner.units_available(
+            "gc", group=victim.key[0]) >= needed
+
     # -- collection ---------------------------------------------------------------------
 
     def collect_once_locked_proc(self):
-        """Collect one victim; returns True if a chunk was recycled."""
-        victim = self.pick_victim()
-        if victim is None:
-            return False
-        yield from self._relocate_and_reset_proc(victim)
-        return True
+        """Collect one victim; returns True if a chunk was reclaimed.
+
+        Victims that cannot be collected right now — no relocation space
+        in their group, or live data superseded only by not-yet-durable
+        copies — are skipped and the next candidate (or group) is tried,
+        so a collector running *because* space is low degrades to a no-op
+        instead of raising out of the daemon.
+        """
+        for __ in range(self.geometry.num_groups):
+            for victim in self.chunk_table.victims_in_group(
+                    self.marked_group):
+                if not self._fits(victim):
+                    self.stats.skips_no_space += 1
+                    break
+                done = yield from self._relocate_and_reset_proc(victim)
+                if done:
+                    return True
+            self.marked_group = (self.marked_group + 1) \
+                % self.geometry.num_groups
+            self.stats.group_rotations += 1
+        return False
 
     def collect_group_locked_proc(self, group: int,
                                   max_victims: int = 0):
@@ -94,32 +154,85 @@ class GarbageCollector:
         """
         recycled = 0
         while not max_victims or recycled < max_victims:
-            victims = self.chunk_table.victims_in_group(group)
-            if not victims:
+            progressed = False
+            for victim in self.chunk_table.victims_in_group(group):
+                if not self._fits(victim):
+                    self.stats.skips_no_space += 1
+                    break
+                done = yield from self._relocate_and_reset_proc(victim)
+                if done:
+                    progressed = True
+                    recycled += 1
+                    break
+            if not progressed:
                 break
-            yield from self._relocate_and_reset_proc(victims[0])
-            recycled += 1
         return recycled
 
     def collect_until_locked_proc(self, target_free: int):
         """Collect until the free pool reaches *target_free* chunks (or no
         victims remain); returns the number of chunks recycled."""
         recycled = 0
+        stalled = 0
         while self.provisioner.free_chunks() < target_free:
+            before = self.provisioner.free_chunks()
             progressed = yield from self.collect_once_locked_proc()
             if not progressed:
                 break
             recycled += 1
+            # Recycling a victim is not always a net gain: relocating a
+            # nearly-live chunk can consume a fresh gc chunk for every
+            # chunk it frees.  Two zero-gain rounds in a row means the
+            # pool cannot be grown right now — stop instead of churning
+            # (and burning erase cycles) under the lock forever.
+            if self.provisioner.free_chunks() > before:
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled > 1:
+                    break
         return recycled
 
     def _relocate_and_reset_proc(self, victim: FtlChunkInfo):
+        """Relocate the victim's live data and reset it.
+
+        Returns True when the victim was reclaimed (recycled or retired),
+        False when collection was deferred or aborted.
+        """
         key = victim.key
         base = Ppa(*key, 0)
         info = self.media.chunk_info(base)
-        live = yield from self._find_live_sectors_proc(key,
-                                                       info.write_pointer)
+        live, unsafe = yield from self._find_live_sectors_proc(
+            key, info.write_pointer)
+        if unsafe or self.volatile_pending():
+            # Unsafe sector: superseded only by a not-yet-durable copy.
+            # Volatile pending: an acked txn still has staged sectors, so
+            # recovery could drop it whole and fall back to mappings into
+            # this victim.  A device flush handles cache-resident data;
+            # the FTL barrier (pad + drain) handles the staged tail.
+            yield from self.media.flush_proc()
+            if self.volatile_pending() and self.stabilize_proc is not None:
+                try:
+                    yield from self.stabilize_proc()
+                except OutOfSpaceError:
+                    # Padding the partial unit needs an allocation; when
+                    # even that fails, the victim cannot be made safe.
+                    self.stats.deferrals_unsafe += 1
+                    return False
+            # The barrier may have padded a staged partial unit into this
+            # very victim (its volatile tail is what made it unsafe),
+            # advancing the write pointer — re-read it, or the re-scan
+            # misses the freshly landed sectors and the reset destroys
+            # their only copy.
+            info = self.media.chunk_info(base)
+            live, unsafe = yield from self._find_live_sectors_proc(
+                key, info.write_pointer)
+            if unsafe or self.volatile_pending():
+                self.stats.deferrals_unsafe += 1
+                return False
         if live:
-            yield from self._relocate_proc(key, live)
+            moved = yield from self._relocate_proc(key, live)
+            if not moved:
+                return False
         # Copies (if any) are durable and remapped; the victim holds only
         # dead data now.
         victim.valid_count = 0
@@ -131,28 +244,49 @@ class GarbageCollector:
         else:
             self.provisioner.retire_chunk(key)
             self.stats.reset_failures += 1
+        if self.wal_relief_proc is not None:
+            yield from self.wal_relief_proc()
+        return True
 
     def _find_live_sectors_proc(self, key: ChunkKey, write_pointer: int):
         """Read the victim's OOB to learn owning LBAs, keep the sectors the
         mapping table still points at.  The read is real device traffic —
-        this is the GC interference the locality experiment measures."""
+        this is the GC interference the locality experiment measures.
+
+        Returns ``(live, unsafe)``: *live* is the ``(sector, lba)`` list to
+        relocate; *unsafe* counts sectors that look dead only because of a
+        superseding copy that is **not yet durable** — destroying the old
+        copy while the new one is still volatile would strand a committed
+        mapping if power failed.
+        """
         if write_pointer == 0:
-            return []
+            return [], 0
         ppas = [Ppa(*key, s) for s in range(write_pointer)]
         completion = yield from self.media.read_proc(ppas)
         self.media.require_ok(completion, "GC victim scan")
         live: List[Tuple[int, int]] = []   # (sector, lba)
+        unsafe = 0
+        delinearize = self.geometry.delinearize
         for sector, lba in enumerate(completion.oob):
             if not isinstance(lba, int) or lba == NO_PPA:
                 continue
             current = self.page_map.lookup(lba)
-            if current is not None and \
-                    self.geometry.delinearize(current).chunk_key() == key \
-                    and self.geometry.delinearize(current).sector == sector:
+            if current is None:
+                # Trimmed.  Trims are WAL-committed (FUA) before they are
+                # acknowledged, so the old copy is safely dead.
+                continue
+            ppa = delinearize(current)
+            if ppa.chunk_key() == key and ppa.sector == sector:
                 live.append((sector, lba))
-        return live
+                continue
+            descriptor = self.media.chunk_info(ppa)
+            if ppa.sector >= descriptor.flushed_pointer:
+                unsafe += 1
+        return live, unsafe
 
     def _relocate_proc(self, key: ChunkKey, live: List[Tuple[int, int]]):
+        """Copy *live* out of the victim and commit the moves; returns True
+        on success, False when allocation ran dry mid-relocation."""
         ws_min = self.geometry.ws_min
         group = key[0]
         src: List[Ppa] = []
@@ -161,17 +295,31 @@ class GarbageCollector:
         for sector, lba in live:
             src.append(Ppa(*key, sector))
             lbas.append(lba)
-        # Pad the relocation to whole write units with dead-sector copies
-        # (their OOB marks them unowned, so they are invalid on arrival).
+        # Pad the relocation to whole write units with dead-sector copies;
+        # their destination OOB is written as NO_PPA so a later GC scan of
+        # the destination chunk sees them as unowned.
         pad = (-len(src)) % ws_min
-        for extra in range(pad):
+        for __ in range(pad):
             src.append(src[-1])   # recopy an arbitrary sector as filler
-            lbas.append(-1)
-        for index in range(0, len(src), ws_min):
-            unit_key, first = self.provisioner.allocate_unit(
-                "gc", group=group)
-            dst.extend(Ppa(*unit_key, first + i) for i in range(ws_min))
-        completion = yield from self.media.copy_proc(src, dst)
+            lbas.append(NO_PPA)
+        try:
+            for __ in range(0, len(src), ws_min):
+                unit_key, first = self.provisioner.allocate_unit(
+                    "gc", group=group)
+                dst.extend(Ppa(*unit_key, first + i) for i in range(ws_min))
+        except OutOfSpaceError:
+            # _fits() said this would fit, so accounting drifted; don't
+            # raise out of the collector.  Pad out the units already taken
+            # as dead sectors so provisioner cursors and device write
+            # pointers stay aligned, then skip the victim.
+            if dst:
+                completion = yield from self.media.write_proc(
+                    dst, [b""] * len(dst), oob=[NO_PPA] * len(dst))
+                self.media.require_ok(completion, "GC relocation abort pad")
+            self.stats.skips_no_space += 1
+            return False
+        completion = yield from self.media.copy_proc(src, dst,
+                                                     dst_oob=list(lbas))
         self.media.require_ok(completion, "GC relocation copy")
         yield from self.media.flush_proc()
 
@@ -179,7 +327,7 @@ class GarbageCollector:
         txn = self.next_txn_id()
         entries: List[Tuple[int, int, int]] = []
         for src_ppa, dst_ppa, lba in zip(src, dst, lbas):
-            if lba < 0:
+            if lba == NO_PPA:
                 continue
             old_linear = self.geometry.linearize(src_ppa)
             if self.page_map.lookup(lba) != old_linear:
@@ -194,3 +342,4 @@ class GarbageCollector:
             self.wal.append_map_update(txn, entries)
             self.wal.append_commit(txn)
             yield from self.wal.flush_proc()
+        return True

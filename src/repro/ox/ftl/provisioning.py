@@ -96,9 +96,16 @@ class _StreamState:
 class Provisioner:
     """Allocates data-region space in write units, per stream."""
 
-    def __init__(self, geometry: DeviceGeometry, table: ChunkTable):
+    def __init__(self, geometry: DeviceGeometry, table: ChunkTable,
+                 gc_headroom: int = 0):
         self.geometry = geometry
         self.table = table
+        # Free chunks per group that only the "gc" stream may open: GC
+        # runs *because* space is low, so without a reservation the
+        # collector can find victims but no destination to move their
+        # live data into (the rationale Lomet & Luo give for reserving
+        # reclamation space in log-structured stores).
+        self.gc_headroom = gc_headroom
         self._free: Dict[PuKey, deque[ChunkKey]] = {
             pu: deque() for pu in geometry.iter_pus()}
         for key, info in sorted(table.items()):
@@ -132,11 +139,14 @@ class Provisioner:
         """
         state = self._stream(stream)
         ws_min = self.geometry.ws_min
+        headroom = self.gc_headroom if stream != "gc" else 0
         for pu in self._pu_cycle(state, group):
             key = state.open_chunks.get(pu)
             if key is None:
                 if not self._free[pu]:
                     continue
+                if headroom and self._group_free(pu[0]) <= headroom:
+                    continue      # reserved for GC relocation
                 key = self._free[pu].popleft()
                 info = self.table.get(key)
                 info.state = FtlChunkState.OPEN
@@ -204,6 +214,52 @@ class Provisioner:
 
     def free_chunks(self) -> int:
         return sum(len(queue) for queue in self._free.values())
+
+    def _group_free(self, group: int) -> int:
+        return sum(len(queue) for pu, queue in self._free.items()
+                   if pu[0] == group)
+
+    def units_available(self, stream: str = "user",
+                        group: Optional[int] = None) -> int:
+        """Write units *stream* could still allocate, without allocating.
+
+        Counts the remaining units of the stream's open chunks plus whole
+        free chunks.  GC uses this to check that a victim's live data fits
+        in its group *before* starting a relocation it could not finish.
+        """
+        state = self._stream(stream)
+        ws_min = self.geometry.ws_min
+        sectors = self.geometry.sectors_per_chunk
+        per_chunk = sectors // ws_min
+        units = 0
+        for pu, queue in self._free.items():
+            if group is None or pu[0] == group:
+                units += len(queue) * per_chunk
+        for pu, key in state.open_chunks.items():
+            if group is None or pu[0] == group:
+                units += (sectors - self.table.get(key).write_next) // ws_min
+        return units
+
+    def sectors_available(self, stream: str = "user") -> int:
+        """Sectors *stream* could still allocate without reclaiming space.
+
+        Counts the currently-filling unit, the unreserved units of the
+        stream's open chunks, and the free chunks the stream may open
+        (minus the GC headroom reservation for non-GC streams).  The
+        write path checks this *before* staging a transaction, so space
+        reclamation never has to run in the middle of one.
+        """
+        state = self._stream(stream)
+        sectors = self.geometry.sectors_per_chunk
+        headroom = self.gc_headroom if stream != "gc" else 0
+        total = self.current_unit_remaining(stream)
+        for key in state.open_chunks.values():
+            total += sectors - self.table.get(key).write_next
+        for group in range(self.geometry.num_groups):
+            usable = self._group_free(group) - headroom
+            if usable > 0:
+                total += usable * sectors
+        return total
 
     def adopt_open_chunk(self, key: ChunkKey, write_next: int,
                          stream: str = "user") -> bool:

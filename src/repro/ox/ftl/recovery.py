@@ -22,8 +22,8 @@ plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.ocssd.address import Ppa
 from repro.ocssd.chunk import ChunkState
@@ -46,6 +46,9 @@ class RecoveryReport:
     records_decoded: int = 0
     txns_applied: int = 0
     txns_dropped: int = 0
+    #: LBAs whose mappings pointed into chunks that went offline (grown
+    #: bad blocks): their data is gone, they read as zeroes from now on.
+    lost_lbas: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -89,27 +92,90 @@ def recover_proc(media: MediaManager, layout: MetadataLayout,
     report.records_decoded = len(records)
     data_keys = set(key for key, __ in chunk_table.items())
 
-    def durable(linear_ppa: int) -> bool:
+    def classify(linear_ppa: int) -> str:
+        """Where did this entry's data end up?
+
+        ``"ok"``: durably on media.  ``"offline"``: the txn persisted but
+        its chunk has since gone bad — the data is destroyed, the lba
+        reads as zeroes (same policy as a live async retirement).
+        ``"gone"``: the data died in the volatile cache — the txn never
+        fully persisted and must be dropped whole for atomicity.
+        """
         ppa = geometry.delinearize(linear_ppa)
         if ppa.chunk_key() not in data_keys:
-            return False
+            return "gone"
         info = media.chunk_info(ppa)
-        return ppa.sector < info.write_pointer
+        if info.state is ChunkState.OFFLINE:
+            return "offline"
+        return "ok" if ppa.sector < info.write_pointer else "gone"
 
+    # Pass 1: collect the committed transactions (paying the replay CPU
+    # cost) and index, per LBA, which transactions write it and in what
+    # order.
+    txns: List[Tuple[int, list]] = []
+    writers: dict = {}   # lba -> [txn index, ...] in commit order
     for txn_id, entries in committed_transactions(iter(records)):
         next_txn_id = max(next_txn_id, txn_id + 1)
         if replay_cpu_per_record:
             yield sim.timeout(replay_cpu_per_record * max(1, len(entries)))
-        if not all(new == NO_PPA or durable(new)
-                   for __, new, _old in entries):
-            report.txns_dropped += 1
+        index = len(txns)
+        txns.append((txn_id, entries))
+        for lba, __, _old in entries:
+            writers.setdefault(lba, []).append(index)
+
+    # Pass 2: decide which transactions to drop.  A txn whose data died
+    # in the volatile cache ("gone") must be dropped whole — applying it
+    # partially would tear an atomic write.  But "gone" alone is not
+    # enough: GC relocations and overwrites legitimately leave stale
+    # entries pointing into chunks that were since erased, with a later
+    # committed record superseding them.  Only an entry that would be the
+    # *final* word on its LBA forces the drop; dropping a txn can in turn
+    # expose an older txn's gone entry as final, so iterate to a fixed
+    # point (each round drops at least one txn, so this terminates).
+    dropped: set = set()
+
+    def final_writer(lba: int) -> Optional[int]:
+        for index in reversed(writers[lba]):
+            if index not in dropped:
+                return index
+        return None
+
+    while True:
+        newly = set()
+        for index, (txn_id, entries) in enumerate(txns):
+            if index in dropped:
+                continue
+            for lba, new, __ in entries:
+                if new == NO_PPA:
+                    continue   # a trim cannot lose data
+                if final_writer(lba) != index:
+                    continue   # superseded by a later committed record
+                if classify(new) == "gone":
+                    newly.add(index)
+                    break
+        if not newly:
+            break
+        dropped.update(newly)
+
+    # Pass 3: apply the surviving transactions in commit order.  Gone
+    # entries of surviving txns are skipped (a later survivor overwrites
+    # them — that is why the txn survived); offline entries persisted but
+    # their data died with the chunk, so the LBA reads as zeroes.
+    report.txns_dropped = len(dropped)
+    for index, (txn_id, entries) in enumerate(txns):
+        if index in dropped:
             continue
         for lba, new, __ in entries:
-            if new == NO_PPA:
-                previous = page_map.remove(lba)
-            else:
+            status = "trim" if new == NO_PPA else classify(new)
+            if status == "gone":
+                continue
+            if status == "ok":
                 previous = page_map.update(lba, new)
                 chunk_table.add_valid(geometry.delinearize(new).chunk_key())
+            else:   # trim, or data lost with its offline chunk
+                previous = page_map.remove(lba)
+                if status == "offline":
+                    report.lost_lbas.append(lba)
             if previous is not None:
                 chunk_table.invalidate(
                     geometry.delinearize(previous).chunk_key())
@@ -117,6 +183,7 @@ def recover_proc(media: MediaManager, layout: MetadataLayout,
 
     # 3. Physical reconciliation + provisioner rebuild.
     open_candidates = []
+    offline_keys = set()
     for descriptor in media.scan_chunks():
         key = descriptor.ppa.chunk_key()
         if key not in data_keys:
@@ -125,6 +192,7 @@ def recover_proc(media: MediaManager, layout: MetadataLayout,
         if descriptor.state is ChunkState.OFFLINE:
             info.state = FtlChunkState.BAD
             info.valid_count = 0
+            offline_keys.add(key)
         elif descriptor.state is ChunkState.FREE:
             info.state = FtlChunkState.FREE
             info.valid_count = 0
@@ -135,7 +203,23 @@ def recover_proc(media: MediaManager, layout: MetadataLayout,
         else:  # OPEN
             info.state = FtlChunkState.FULL  # provisional: close early
             info.write_next = descriptor.write_pointer
-            open_candidates.append((key, descriptor.write_pointer))
+            if descriptor.write_pointer % geometry.ws_min == 0:
+                open_candidates.append((key, descriptor.write_pointer))
+            # A torn write unit leaves the pointer mid-unit: the chunk
+            # cannot be resumed (programs start at unit boundaries), so
+            # it stays closed early and GC reclaims it eventually.
+
+    if offline_keys:
+        # The checkpoint may predate a retirement: drop mappings into
+        # chunks that ended up offline, mirroring the live policy of
+        # zero-reads for data lost with its chunk.  Validity counts were
+        # zeroed with the chunk above, so only the map needs cleaning.
+        dropped = [lba for lba, linear in list(page_map.items())
+                   if geometry.delinearize(linear).chunk_key()
+                   in offline_keys]
+        for lba in dropped:
+            page_map.remove(lba)
+        report.lost_lbas.extend(dropped)
 
     provisioner = Provisioner(geometry, chunk_table)
     for key, write_pointer in open_candidates:

@@ -232,6 +232,10 @@ class FrameWriter:
             self._seal()
         self._current.extend(record)
 
+    def frame_count(self) -> int:
+        """Frames a :meth:`frames` call would return, without draining."""
+        return len(self._frames) + (1 if self._current else 0)
+
     def frames(self) -> List[bytes]:
         """Seal the current frame and return all frames (each one sector)."""
         if self._current:

@@ -92,12 +92,21 @@ class WalAppender:
 
         Pads the batch to a whole number of write units.  Raises
         :class:`FTLError` when the ring is exhausted — the caller must
-        checkpoint (which truncates the ring) before this happens.
+        checkpoint (which truncates the ring) before this happens.  The
+        check runs *before* anything is written, so a failed flush leaves
+        the records buffered and the ring untouched: the caller can
+        checkpoint and retry with no half-written batch in the log.
         """
-        frames = self._writer.frames()
-        if not frames:
+        count = self._writer.frame_count()
+        if not count:
             return 0
-        pad = (-len(frames)) % self.ws_min
+        padded = count + (-count) % self.ws_min
+        if self.used_sectors + padded > self.capacity_sectors:
+            raise FTLError(
+                "WAL ring exhausted; checkpointing must truncate the "
+                "log before it fills (records stay buffered)")
+        frames = self._writer.frames()
+        pad = padded - len(frames)
         if pad:
             frames.extend([self._noop_frame] * pad)
 

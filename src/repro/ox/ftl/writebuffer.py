@@ -111,6 +111,43 @@ class WriteBuffer:
         still reaches media as part of its unit, but as dead data."""
         self._readable.pop(lba, None)
 
+    def restore_readable(self, lba: int, ppa: Ppa) -> bool:
+        """Re-expose *lba* from the staged sector at *ppa*, if that sector
+        is still in a pending unit.
+
+        An aborted transaction rolls its lbas back to their previous
+        mappings; when a previous copy was itself acked out of the buffer
+        and is not yet programmed, dropping the newer shadow entry alone
+        would leave reads with no copy at all (the media rejects reads
+        above the write pointer).  Returns True when a staged copy was
+        found and restored.
+        """
+        sector = ppa[3]
+        unit = self._units.get((ppa[:3], sector - sector % self.ws_min))
+        if unit is None:
+            return False
+        index = sector - unit.first_sector
+        if not 0 <= index < len(unit.ppas) or unit.lbas[index] != lba:
+            return False
+        self._sequence += 1
+        self._readable[lba] = (self._sequence, unit.data[index])
+        return True
+
+    def drop_chunk(self, key: ChunkKey) -> List[PendingUnit]:
+        """Forget the partial units headed for *key*: its chunk was
+        retired, so their sectors can never be programmed.  Returns the
+        dropped units so the caller can account the lost LBAs."""
+        slots = [slot for slot in self._units if slot[0] == key]
+        dropped = [self._units.pop(slot) for slot in slots]
+        for unit in dropped:
+            for lba, data in zip(unit.lbas, unit.data):
+                if lba == PAD_LBA:
+                    continue
+                entry = self._readable.get(lba)
+                if entry is not None and entry[1] is data:
+                    del self._readable[lba]
+        return dropped
+
     def drop_all(self) -> None:
         """Crash: all buffered state is gone."""
         self._units.clear()

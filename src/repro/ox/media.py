@@ -53,8 +53,10 @@ class MediaManager:
     def reset_proc(self, ppa: Ppa):
         return self.device.submit(ChunkReset(ppa=ppa))
 
-    def copy_proc(self, src: List[Ppa], dst: List[Ppa]):
-        return self.device.submit(VectorCopy(src=src, dst=dst))
+    def copy_proc(self, src: List[Ppa], dst: List[Ppa],
+                  dst_oob: Optional[List[object]] = None):
+        return self.device.submit(
+            VectorCopy(src=src, dst=dst, dst_oob=dst_oob))
 
     def flush_proc(self):
         return self.device.flush_proc()
@@ -72,8 +74,9 @@ class MediaManager:
     def reset(self, ppa: Ppa) -> Completion:
         return self.device.reset(ppa)
 
-    def copy(self, src: List[Ppa], dst: List[Ppa]) -> Completion:
-        return self.device.copy(src, dst)
+    def copy(self, src: List[Ppa], dst: List[Ppa],
+             dst_oob: Optional[List[object]] = None) -> Completion:
+        return self.device.copy(src, dst, dst_oob=dst_oob)
 
     def flush(self) -> None:
         self.device.flush()

@@ -216,19 +216,19 @@ class OXZns:
 
     def finish_zone_proc(self, zone_id: int):
         """Close a zone early: its unwritten tail becomes unusable until
-        the next reset (NVMe ZNS 'finish')."""
+        the next reset (NVMe ZNS 'finish').  Appended data still in the
+        device cache is flushed first, so a finished zone is durable."""
         zone = self.zone(zone_id)
         if zone.state is ZoneState.FULL:
             return
         if zone.state is ZoneState.OFFLINE:
             raise ZoneError(f"finish of offline zone {zone_id}")
-        if zone.state is ZoneState.OPEN:
+        was_open = zone.state is ZoneState.OPEN
+        yield from self.media.flush_proc()
+        zone.finish()
+        if was_open:
             self._open_count -= 1
-        zone.write_pointer = zone.capacity
-        zone.state = ZoneState.FULL
         self.stats.zones_finished += 1
-        return
-        yield  # pragma: no cover - generator marker
 
     # -- internals ------------------------------------------------------------------
 

@@ -76,5 +76,14 @@ class Zone:
         self.state = ZoneState.EMPTY
         self.write_pointer = 0
 
+    def finish(self) -> None:
+        """Close the zone early (NVMe ZNS 'finish').  The write pointer
+        stays at the end of the data: the unwritten tail is unusable until
+        the next reset, and reads past the pointer keep failing instead of
+        hitting never-programmed flash."""
+        if self.state is ZoneState.OFFLINE:
+            raise ZoneError(f"finish of offline zone {self.zone_id}")
+        self.state = ZoneState.FULL
+
     def retire(self) -> None:
         self.state = ZoneState.OFFLINE

@@ -1,0 +1,183 @@
+"""WAL edge cases the crash checker flushed out: ring exhaustion must be
+retryable, the reader must stop at every flavour of torn tail, and
+truncation must not burn erase cycles on chunks it never wrote."""
+
+import pytest
+
+from repro.errors import FTLError
+from repro.nand import FlashGeometry
+from repro.ocssd import DeviceGeometry, OpenChannelSSD, Ppa
+from repro.ox.ftl import serial
+from repro.ox.ftl.provisioning import MetadataLayout
+from repro.ox.ftl.serial import NO_PPA
+from repro.ox.ftl.wal import WalAppender, WalReader, committed_transactions
+from repro.ox.media import MediaManager
+
+
+def make_media(chunks=16, pages=6):
+    geometry = DeviceGeometry(
+        num_groups=2, pus_per_group=2,
+        flash=FlashGeometry(blocks_per_plane=chunks, pages_per_block=pages))
+    device = OpenChannelSSD(geometry=geometry)
+    return device, MediaManager(device)
+
+
+def run(media, gen):
+    return media.sim.run_until(media.sim.spawn(gen))
+
+
+def layout_for(media, wal_chunk_count=4):
+    return MetadataLayout.build(media.geometry,
+                                wal_chunk_count=wal_chunk_count,
+                                ckpt_chunks_per_slot=1)
+
+
+def padded_frames(media, records, total=None):
+    """Encode *records* into sector frames, noop-padded to *total*
+    (default: one write unit)."""
+    writer = serial.FrameWriter(media.geometry.sector_size)
+    for record in records:
+        writer.append(record)
+    frames = writer.frames()
+    total = total if total is not None else media.geometry.ws_min
+    noop = serial.FrameWriter(media.geometry.sector_size)
+    noop.append(serial.encode_record(serial.REC_NOOP, b""))
+    frames.extend([noop.frames()[0]] * (total - len(frames)))
+    return frames
+
+
+def write_unit(media, key, start_sector, frames, oob):
+    ppas = [Ppa(*key, start_sector + i) for i in range(len(frames))]
+    run(media, media.write_proc(ppas, frames, oob=oob, fua=True))
+
+
+class TestRingExhaustion:
+    def fill_to_capacity(self, media, appender):
+        """Flush units until exactly one write unit of ring remains."""
+        ws_min = media.geometry.ws_min
+        while appender.capacity_sectors - appender.used_sectors > ws_min:
+            appender.append_commit(0)
+            run(media, appender.flush_proc())
+
+    def test_failed_flush_leaves_records_buffered(self):
+        device, media = make_media(chunks=6)
+        layout = layout_for(media, wal_chunk_count=1)
+        appender = WalAppender(media, layout.wal_chunks, epoch=0)
+        self.fill_to_capacity(media, appender)
+        # More than one unit's worth of frames: the pre-flight check
+        # must fail before anything is written.
+        txn = 1
+        while appender._writer.frame_count() <= media.geometry.ws_min:
+            appender.append_map_update(
+                txn, [(i, i + 1, NO_PPA) for i in range(200)])
+            txn += 1
+        used_before = appender.used_sectors
+        buffered_before = appender._writer.frame_count()
+        with pytest.raises(FTLError, match="ring exhausted"):
+            run(media, appender.flush_proc())
+        assert appender.used_sectors == used_before
+        assert appender._writer.frame_count() == buffered_before
+
+    def test_buffered_records_survive_truncate_and_retry(self):
+        device, media = make_media(chunks=6)
+        layout = layout_for(media, wal_chunk_count=1)
+        appender = WalAppender(media, layout.wal_chunks, epoch=0)
+        self.fill_to_capacity(media, appender)
+        appender.append_map_update(77, [(5, 500, NO_PPA)])
+        txn = 100
+        while appender._writer.frame_count() <= media.geometry.ws_min:
+            appender.append_map_update(
+                txn, [(i, i + 1, NO_PPA) for i in range(200)])
+            txn += 1
+        appender.append_commit(77)
+        with pytest.raises(FTLError, match="ring exhausted"):
+            run(media, appender.flush_proc())
+        # The caller checkpoints (out of scope here) and truncates; the
+        # buffered batch then flushes unchanged into the fresh epoch.
+        run(media, appender.truncate_proc(new_epoch=1))
+        run(media, appender.flush_proc())
+        assert appender._writer.frame_count() == 0
+        reader = WalReader(media, layout.wal_chunks, epoch=1)
+        records = run(media, reader.read_proc())
+        txns = dict(committed_transactions(iter(records)))
+        assert txns[77] == [(5, 500, NO_PPA)]
+
+
+class TestTornTail:
+    """The reader must stop at the first sector that does not continue
+    the epoch/seq chain — each test hand-writes a valid unit followed by
+    a differently-broken one."""
+
+    @staticmethod
+    def txn_frames(media, txn_id):
+        """One write unit holding a complete committed transaction."""
+        update = serial.split_map_update(
+            txn_id, [(txn_id, txn_id * 10, NO_PPA)],
+            media.geometry.sector_size)
+        return padded_frames(
+            media, list(update) + [serial.encode_commit(txn_id)])
+
+    def setup_ring(self):
+        device, media = make_media()
+        layout = layout_for(media)
+        key = layout.wal_chunks[0]
+        ws_min = media.geometry.ws_min
+        write_unit(media, key, 0, self.txn_frames(media, 1),
+                   oob=[("wal", 0, i) for i in range(ws_min)])
+        return device, media, layout, key, ws_min
+
+    def read_txn_ids(self, media, layout):
+        reader = WalReader(media, layout.wal_chunks, epoch=0)
+        records = run(media, reader.read_proc())
+        return [txn for txn, __ in committed_transactions(iter(records))]
+
+    def test_reader_stops_at_wrong_epoch(self):
+        device, media, layout, key, ws_min = self.setup_ring()
+        write_unit(media, key, ws_min, self.txn_frames(media, 2),
+                   oob=[("wal", 1, ws_min + i) for i in range(ws_min)])
+        assert self.read_txn_ids(media, layout) == [1]
+
+    def test_reader_stops_at_sequence_gap(self):
+        device, media, layout, key, ws_min = self.setup_ring()
+        write_unit(media, key, ws_min, self.txn_frames(media, 2),
+                   oob=[("wal", 0, ws_min + 5 + i) for i in range(ws_min)])
+        assert self.read_txn_ids(media, layout) == [1]
+
+    def test_reader_stops_at_undecodable_frame(self):
+        device, media, layout, key, ws_min = self.setup_ring()
+        garbage = [b"\xa5" * media.geometry.sector_size] * ws_min
+        write_unit(media, key, ws_min, garbage,
+                   oob=[("wal", 0, ws_min + i) for i in range(ws_min)])
+        assert self.read_txn_ids(media, layout) == [1]
+
+    def test_break_in_one_chunk_hides_later_chunks(self):
+        """A torn tail in ring chunk N must also invalidate chunks > N,
+        even if their sectors would individually chain."""
+        device, media, layout, key, ws_min = self.setup_ring()
+        write_unit(media, key, ws_min, self.txn_frames(media, 2),
+                   oob=[("wal", 9, ws_min + i) for i in range(ws_min)])
+        write_unit(media, layout.wal_chunks[1], 0, self.txn_frames(media, 3),
+                   oob=[("wal", 0, 2 * ws_min + i) for i in range(ws_min)])
+        assert self.read_txn_ids(media, layout) == [1]
+
+
+class TestTruncate:
+    def test_truncate_skips_never_written_chunks(self):
+        device, media = make_media()
+        layout = layout_for(media)
+        appender = WalAppender(media, layout.wal_chunks, epoch=0)
+        appender.append_commit(1)
+        run(media, appender.flush_proc())   # touches ring chunk 0 only
+        run(media, appender.truncate_proc(new_epoch=1))
+        wear = [device.chunks[key].wear_index for key in layout.wal_chunks]
+        assert wear[0] == 1
+        assert wear[1:] == [0] * (len(layout.wal_chunks) - 1)
+
+    def test_truncate_is_idempotent_on_wear(self):
+        device, media = make_media()
+        layout = layout_for(media)
+        appender = WalAppender(media, layout.wal_chunks, epoch=0)
+        run(media, appender.truncate_proc(new_epoch=1))
+        run(media, appender.truncate_proc(new_epoch=2))
+        assert all(device.chunks[key].wear_index == 0
+                   for key in layout.wal_chunks)

@@ -153,3 +153,56 @@ class TestZnsDevice:
         __, zns = make_zns()
         with pytest.raises(ZoneError):
             zns.append(0, b"tiny")
+
+
+class TestFinishZone:
+    """Regressions for finish_zone: the proc body used to be unreachable
+    (the generator returned before its first yield was ever driven), and
+    an EMPTY finish must not touch the open-zone accounting."""
+
+    def test_finish_open_zone_frees_an_open_slot(self):
+        __, zns = make_zns(chunks_per_zone=1, max_open_zones=1)
+        zns.append(0, b"a" * SS)
+        with pytest.raises(ZoneError):
+            zns.append(1, b"b" * SS)
+        zns.finish_zone(0)
+        assert zns.zone(0).state is ZoneState.FULL
+        zns.append(1, b"b" * SS)   # the slot is free again
+
+    def test_finish_empty_zone_does_not_free_a_slot(self):
+        """Finishing a never-opened zone went EMPTY -> FULL without ever
+        holding an open slot; decrementing the open count for it would
+        let the limit be exceeded."""
+        __, zns = make_zns(chunks_per_zone=1, max_open_zones=1)
+        zns.append(0, b"a" * SS)           # occupies the only slot
+        zns.finish_zone(1)                  # EMPTY, was never open
+        assert zns.zone(1).state is ZoneState.FULL
+        with pytest.raises(ZoneError):
+            zns.append(2, b"c" * SS)        # zone 0 still holds the slot
+
+    def test_finish_is_effective_and_durable(self):
+        __, zns = make_zns()
+        zns.append(0, b"x" * SS * 2)
+        before = zns.zone(0).write_pointer
+        zns.finish_zone(0)
+        zone = zns.zone(0)
+        assert zone.state is ZoneState.FULL
+        assert zone.write_pointer == before   # finish pads nothing visible
+        assert zns.read(zone.start_lba, 2) == b"x" * SS * 2
+        with pytest.raises(ZoneError):
+            zns.append(0, b"y" * SS)
+        assert zns.stats.zones_finished == 1
+
+    def test_finish_full_zone_is_a_noop(self):
+        __, zns = make_zns(chunks_per_zone=1)
+        zone = zns.zone(0)
+        zns.append(0, b"f" * SS * zone.capacity)
+        assert zone.state is ZoneState.FULL
+        zns.finish_zone(0)
+        assert zns.stats.zones_finished == 0
+
+    def test_finish_offline_zone_rejected(self):
+        __, zns = make_zns(chunks_per_zone=1)
+        zns.zone(0).retire()
+        with pytest.raises(ZoneError, match="offline"):
+            zns.finish_zone(0)
