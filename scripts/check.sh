@@ -15,6 +15,9 @@ python -m pytest -x -q
 echo "== perf smoke (regression gate) =="
 python benchmarks/bench_perf_trajectory.py --smoke --check --no-append
 
+echo "== obs guard (tracing overhead + trace validity) =="
+python scripts/obs_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

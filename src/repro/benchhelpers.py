@@ -14,6 +14,7 @@ from typing import Iterable, List, Mapping, Optional, Tuple
 
 from repro.lsm import DB, DBConfig, DbBench, LightLSMEnv, PlacementPolicy
 from repro.nand import FlashGeometry
+from repro.obs.metrics import MetricsRegistry
 from repro.ocssd import DeviceGeometry, OpenChannelSSD
 from repro.ox import MediaManager
 from repro.units import KIB, MIB
@@ -64,6 +65,21 @@ def report_json(name: str, metrics: Mapping[str, object]) -> str:
                   sort_keys=True)
         handle.write("\n")
     return path
+
+
+def report_registry(name: str, registry: MetricsRegistry,
+                    header: Optional[str] = None) -> str:
+    """Persist a bench's :class:`MetricsRegistry` under its name.
+
+    Flattens the registry (histograms fan out to ``.count/.mean/.p50/...``)
+    into one ``key = value`` line per instrument plus the JSON twin —
+    the registry replaces ad-hoc metric dicts in the bench harness.
+    """
+    flat = registry.flat()
+    lines = [header or f"Metrics: {name}"]
+    lines.extend(f"  {key:>18s} = {value}" for key, value in flat.items())
+    report(name, lines, metrics=flat)
+    return os.path.join(RESULTS_DIR, f"{name}.txt")
 
 
 def load_trajectory(path: str = TRAJECTORY_PATH) -> List[dict]:

@@ -16,9 +16,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ContractViolation
+from repro.obs.metrics import MetricsRegistry
 from repro.ocssd.address import Ppa
 from repro.ocssd.device import OpenChannelSSD
-from repro.sim.stats import LatencyRecorder
 
 
 @dataclass(frozen=True)
@@ -91,7 +91,9 @@ class PerformanceContract:
 
 
 def characterize_device(device: OpenChannelSSD, samples: int = 32,
-                        wear_cycles: int = 0) -> Dict[str, float]:
+                        wear_cycles: int = 0,
+                        registry: Optional[MetricsRegistry] = None
+                        ) -> Dict[str, float]:
     """Measure a device's latency envelope on a scratch chunk.
 
     Returns metrics suitable for :meth:`PerformanceContract.check`:
@@ -99,13 +101,18 @@ def characterize_device(device: OpenChannelSSD, samples: int = 32,
     ``read_sector_p99``, ``reset_mean`` and ``endurance`` (the declared
     per-chunk erase budget).  ``wear_cycles`` pre-ages the scratch chunk
     so contracts can be evaluated at a given wear level.
+
+    The raw latency samples land in a :class:`MetricsRegistry` (pass one
+    in to keep them — ``contract.{write_unit,read_sector,reset}.latency_s``
+    histograms); the returned dict is derived from those instruments.
     """
     geometry = device.report_geometry()
     scratch = Ppa(geometry.num_groups - 1, geometry.pus_per_group - 1,
                   geometry.chunks_per_pu - 1, 0)
-    writes = LatencyRecorder("write")
-    reads = LatencyRecorder("read")
-    resets = LatencyRecorder("reset")
+    registry = registry if registry is not None else MetricsRegistry()
+    writes = registry.histogram("contract.write_unit.latency_s")
+    reads = registry.histogram("contract.read_sector.latency_s")
+    resets = registry.histogram("contract.reset.latency_s")
     ws_min = geometry.ws_min
     payload = [b"\xA5" * geometry.sector_size] * ws_min
 

@@ -82,6 +82,9 @@ class DB:
             [] for __ in range(config.max_levels)]
         self.limiter = RateLimiter(sim, config.rate_limit_bytes_per_sec)
         self.stats = DBStats()
+        # Observability (repro.obs): inherited from the simulator; None
+        # unless a hub was attached before the DB was built.
+        self.obs = sim.obs
         self._next_sstable_id = 1
         self._alive = True
         self._flush_wanted = sim.event()
@@ -153,12 +156,19 @@ class DB:
     # -- write path --------------------------------------------------------------------
 
     def put_proc(self, key: bytes, value: bytes):
+        obs = self.obs
+        if obs is not None:
+            put_started = self.sim.now
         yield from self._write_gate_proc()
         if self.config.put_cpu:
             yield self.sim.timeout(self.config.put_cpu)
         self.memtable.put(key, value)
         self.stats.puts += 1
         self._maybe_rotate_memtable()
+        if obs is not None:
+            obs.metrics.counter("lsm.puts").increment()
+            obs.metrics.histogram("lsm.put.latency_s").record(
+                self.sim.now - put_started)
 
     def delete_proc(self, key: bytes):
         yield from self._write_gate_proc()
@@ -195,6 +205,9 @@ class DB:
                 self._write_ok = gate
             yield gate
             self.stats.stall_seconds += self.sim.now - started
+            if self.obs is not None:
+                self.obs.metrics.histogram("lsm.stall_s").record(
+                    self.sim.now - started)
         if len(self.levels[0]) >= self.config.l0_slowdown_trigger:
             self.stats.slowdown_puts += 1
             yield self.sim.timeout(self.config.slowdown_delay)
@@ -332,8 +345,18 @@ class DB:
                 self._flush_idle = False
                 items = self.immutable
                 cursor = MemCursor(items)
+                obs = self.obs
+                if obs is not None:
+                    # Background work: one root span per memtable flush.
+                    span = obs.begin("lsm", "flush")
+                    flush_started = self.sim.now
                 yield from self._write_tables_proc([cursor], level=0,
                                                    drop_tombstones=False)
+                if obs is not None:
+                    obs.end(span, entries=len(items))
+                    obs.metrics.counter("lsm.flush.count").increment()
+                    obs.metrics.histogram("lsm.flush.duration_s").record(
+                        self.sim.now - flush_started)
                 self.immutable = None
                 self._flush_idle = True
                 self.stats.flushes += 1
@@ -371,6 +394,12 @@ class DB:
             return
 
     def _run_compaction_proc(self, pick):
+        obs = self.obs
+        span = None
+        if obs is not None:
+            # Background work: one root span per compaction.
+            span = obs.begin("lsm.compaction", "compact")
+            compact_started = self.sim.now
         for table in pick.inputs:
             table.refs += 1
         cursors = [TableCursor(self.env, table, self.config.block_size,
@@ -394,6 +423,14 @@ class DB:
             self.env.log_version_edit(("del", table.handle.sstable_id,
                                        table.handle.level))
             self._release(table)
+        if obs is not None:
+            obs.end(span, target_level=pick.target_level,
+                    inputs=len(pick.inputs), outputs=len(outputs))
+            obs.metrics.counter("lsm.compaction.count").increment()
+            obs.metrics.counter("lsm.compaction.tables_in").increment(
+                len(pick.inputs))
+            obs.metrics.histogram("lsm.compaction.duration_s").record(
+                self.sim.now - compact_started)
 
     # -- table writing (shared by flush and compaction) ------------------------------------
 

@@ -80,6 +80,10 @@ class FlashChip:
         # hot paths pay one attribute load + identity check per op.
         self.faults = None
         self.fault_key = (0, 0)   # (group, pu) — set by FaultInjector.attach
+        # Observability (repro.obs): same disabled-is-None guard; the chip
+        # records nand.* metrics, the controller records the spans (it
+        # knows the parent command).
+        self.obs = None
         for index in factory_bad or []:
             self.blocks[index].state = BlockState.BAD
 
@@ -129,6 +133,8 @@ class FlashChip:
         self.stats.erases += 1
         elapsed = self.timing.erase_time()
         self.stats.erase_time += elapsed
+        if self.obs is not None:
+            self.obs.on_media("erase", elapsed, 1)
         if self.wear.erase_fails(block.erase_count):
             block.state = _B_BAD
             raise MediaError(
@@ -176,6 +182,8 @@ class FlashChip:
         self.stats.programs += page_groups
         elapsed = self.timing.program_time(page_groups)
         self.stats.program_time += elapsed
+        if self.obs is not None:
+            self.obs.on_media("program", elapsed, page_groups)
         return elapsed
 
     def read(self, index: int, first_sector: int, sectors: int) -> float:
@@ -216,6 +224,8 @@ class FlashChip:
                 f"(erase count {block.erase_count})")
         elapsed = self.timing.read_time(page_groups)
         self.stats.read_time += elapsed
+        if self.obs is not None:
+            self.obs.on_media("read", elapsed, page_groups)
         return elapsed
 
     # -- inspection ------------------------------------------------------------

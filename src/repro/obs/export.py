@@ -1,0 +1,152 @@
+"""Trace exporters: Chrome trace-event JSON and a JSONL event log.
+
+* :func:`write_chrome_trace` emits the Trace Event Format that
+  ``chrome://tracing`` and Perfetto load directly: one complete ("X")
+  event per finished span, timestamps in microseconds of simulated
+  time, one pseudo-thread per layer so the per-layer lanes read like
+  the paper's latency-attribution story.  Span/parent ids ride along in
+  ``args`` so tooling can rebuild the tree from the exported file.
+* :func:`write_jsonl` / :func:`read_jsonl` round-trip the full event
+  log (spans, instants, metric summaries) one JSON object per line —
+  the format ``python -m repro.obs.report`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.obs.trace import Instant, Span, Tracer
+
+if TYPE_CHECKING:
+    from repro.obs.hub import Obs
+
+_SECONDS_TO_US = 1e6
+
+
+def _layer_tids(tracer: Tracer) -> Dict[str, int]:
+    layers = sorted({span.layer for span in tracer.spans}
+                    | {instant.layer for instant in tracer.instants})
+    return {layer: tid for tid, layer in enumerate(layers, start=1)}
+
+
+def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[dict]:
+    """The ``traceEvents`` list for one tracer's finished spans."""
+    tids = _layer_tids(tracer)
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid,
+        "args": {"name": "repro"},
+    }]
+    for layer, tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": layer}})
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        if span.attrs:
+            args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "cat": span.layer,
+            "ph": "X",
+            "ts": span.start * _SECONDS_TO_US,
+            "dur": (span.end - span.start) * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tids[span.layer],
+            "args": args,
+        })
+    for instant in tracer.instants:
+        events.append({
+            "name": instant.name,
+            "cat": instant.layer,
+            "ph": "i",
+            "s": "t",
+            "ts": instant.time * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tids[instant.layer],
+            "args": dict(instant.attrs) if instant.attrs else {},
+        })
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write the Chrome trace JSON; returns *path*."""
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": len(tracer.spans),
+            "instants": len(tracer.instants),
+            "dropped": tracer.dropped,
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return path
+
+
+def write_jsonl(obs: "Obs", path: str) -> str:
+    """Write the full event log (spans, instants, metrics) as JSONL."""
+    with open(path, "w") as handle:
+        for span in obs.tracer.spans:
+            handle.write(json.dumps(span.to_dict()) + "\n")
+        for instant in obs.tracer.instants:
+            handle.write(json.dumps(instant.to_dict()) + "\n")
+        for name, summary in obs.metrics.snapshot().items():
+            # The summary's own "type" is the instrument kind; it must
+            # not clobber the record discriminator read_jsonl switches on.
+            record = dict(summary)
+            record["kind"] = record.pop("type")
+            record["type"] = "metric"
+            record["name"] = name
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> Tuple[List[Span], List[Instant], List[dict]]:
+    """Parse a JSONL event log back into spans, instants and metric rows."""
+    spans: List[Span] = []
+    instants: List[Instant] = []
+    metrics: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                span = Span(record["id"], record.get("parent"),
+                            record["layer"], record["name"],
+                            record["start"])
+                span.end = record.get("end")
+                span.attrs = record.get("attrs")
+                spans.append(span)
+            elif kind == "instant":
+                instants.append(Instant(record["layer"], record["name"],
+                                        record["time"],
+                                        record.get("attrs")))
+            elif kind == "metric":
+                metrics.append(record)
+    return spans, instants, metrics
+
+
+def spans_from_chrome(path: str) -> List[Span]:
+    """Rebuild spans from an exported Chrome trace (ids live in args)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    events = document["traceEvents"] if isinstance(document, dict) \
+        else document
+    spans: List[Span] = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        span = Span(args.get("span_id", 0), args.get("parent_id"),
+                    event.get("cat", "?"), event["name"],
+                    event["ts"] / _SECONDS_TO_US)
+        span.end = (event["ts"] + event["dur"]) / _SECONDS_TO_US
+        spans.append(span)
+    return spans

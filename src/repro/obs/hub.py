@@ -1,0 +1,104 @@
+"""The observability hub: one tracer + one metrics registry per stack.
+
+Wiring follows the ``repro.faults`` pattern: every instrumented object
+carries an ``obs`` attribute that is ``None`` in normal operation, so
+the disabled hot path costs one attribute load and identity check.
+:meth:`Obs.attach` wires the device, its controller and chips, and the
+shared :class:`~repro.sim.core.Simulator` — layers built *afterwards*
+(OX-Block, OX-ZNS, the LSM engine, the WAL appender, the collector)
+inherit the hub from ``sim.obs`` at construction.  Attach first, build
+the stack second::
+
+    device = OpenChannelSSD(geometry=...)
+    obs = Obs().attach(device)
+    ftl = OXBlock.format(MediaManager(device), BlockConfig())
+    ...run a workload...
+    write_chrome_trace(obs.tracer, "trace.json")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+if TYPE_CHECKING:
+    from repro.ocssd.device import OpenChannelSSD
+
+
+class Obs:
+    """Attaches tracing + metrics to one device stack."""
+
+    def __init__(self, max_events: int = 2_000_000):
+        self.tracer = Tracer(max_events=max_events)
+        self.metrics = MetricsRegistry()
+        self.device: Optional["OpenChannelSSD"] = None
+        self.sim = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, device: "OpenChannelSSD") -> "Obs":
+        if self.device is not None:
+            raise ReproError("obs hub is already attached")
+        self.device = device
+        self.sim = device.sim
+        self.tracer.sim = device.sim
+        device.obs = self
+        device.controller.obs = self
+        device.sim.obs = self
+        for chip in device.chips.values():
+            chip.obs = self
+        return self
+
+    def detach(self) -> None:
+        if self.device is None:
+            return
+        self.device.obs = None
+        self.device.controller.obs = None
+        if self.device.sim.obs is self:
+            self.device.sim.obs = None
+        for chip in self.device.chips.values():
+            chip.obs = None
+        self.device = None
+
+    # -- tracing shortcuts ------------------------------------------------
+
+    def begin(self, layer: str, name: str,
+              parent: Optional[Span] = None) -> Optional[Span]:
+        return self.tracer.begin(layer, name, parent)
+
+    def end(self, span: Optional[Span], **attrs) -> None:
+        self.tracer.end(span, **attrs)
+
+    def complete(self, layer: str, name: str, start: float, end: float,
+                 parent: Optional[Span] = None, **attrs) -> Optional[Span]:
+        return self.tracer.complete(layer, name, start, end, parent, **attrs)
+
+    def instant(self, layer: str, name: str, **attrs) -> None:
+        self.tracer.instant(layer, name, **attrs)
+
+    # -- cross-layer event vocabulary --------------------------------------
+
+    def error(self, layer: str, name: str, detail: str = "") -> None:
+        """An absorbed/background error: an instant in the trace plus a
+        per-layer counter, so 'how many errors did the daemons swallow'
+        is one metrics lookup instead of a log grep."""
+        self.metrics.counter(f"{layer}.errors").increment()
+        self.metrics.counter(f"{layer}.errors.{name}").increment()
+        if detail:
+            self.tracer.instant(layer, f"error:{name}", detail=detail)
+        else:
+            self.tracer.instant(layer, f"error:{name}")
+
+    def on_media(self, kind: str, elapsed: float, units: int) -> None:
+        """One NAND media operation (called by the chip; the controller
+        records the corresponding span because it knows the parent)."""
+        metrics = self.metrics
+        metrics.counter(f"nand.{kind}.count").increment()
+        metrics.counter(f"nand.{kind}.page_groups").increment(units)
+        metrics.histogram(f"nand.{kind}.media_s").record(elapsed)
+
+    def on_spawn(self, name: str) -> None:
+        self.metrics.counter("sim.processes_spawned").increment()

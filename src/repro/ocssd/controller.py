@@ -41,6 +41,7 @@ class _FlushJob:
     first_sector: int
     sectors: int
     granted: int  # cache credits to release once programmed
+    queued_at: float = 0.0  # admission time, for obs flush-queue-wait
 
 
 @dataclass
@@ -86,6 +87,9 @@ class Controller:
             self._ctx[chunk] = (chips[pu_key], self.chip_locks[pu_key],
                                 self.channels[group], pu_key)
         self.stats = ControllerStats()
+        # Observability (repro.obs): None unless a hub is attached; every
+        # instrumented path below guards on it, faults-style.
+        self.obs = None
         self._epoch = 0
         self._pending_flush = 0
         self._idle_waiters: List[object] = []
@@ -132,18 +136,33 @@ class Controller:
     # -- write path ---------------------------------------------------------------
 
     def write_run(self, chunk: Chunk, first_sector: int, sectors: int,
-                  fua: bool = False):
+                  fua: bool = False, span=None):
         """Process generator: timing for a chunk-sequential write already
         admitted into *chunk* (data and write pointer updated by the device
-        before this runs).  ``fua`` forces write-through."""
+        before this runs).  ``fua`` forces write-through.  *span* is the
+        obs parent (the device command span) when tracing is attached."""
         epoch = self._epoch
         chip, __, channel, key = self._ctx[chunk]
         num_bytes = sectors * self.geometry.sector_size
+        obs = self.obs
 
         if not channel.try_acquire():
-            yield channel.request()
+            if obs is not None:
+                wait = obs.begin("ocssd", "channel.wait", span)
+                started = self.sim.now
+                yield channel.request()
+                obs.end(wait)
+                obs.metrics.histogram("ocssd.channel.wait_s").record(
+                    self.sim.now - started)
+            else:
+                yield channel.request()
         try:
-            yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
+            if obs is not None:
+                xfer = obs.begin("ocssd", "xfer", span)
+                yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
+                obs.end(xfer, bytes=num_bytes)
+            else:
+                yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
         finally:
             channel.release()
         if epoch != self._epoch:
@@ -152,8 +171,17 @@ class Controller:
         if self.cache is not None and not fua:
             granted = self.cache.try_reserve(sectors)
             if granted is None:
-                reservation = self.cache.reserve(sectors)
-                yield reservation
+                if obs is not None:
+                    wait = obs.begin("ocssd", "cache.wait", span)
+                    started = self.sim.now
+                    reservation = self.cache.reserve(sectors)
+                    yield reservation
+                    obs.end(wait)
+                    obs.metrics.histogram("ocssd.cache.wait_s").record(
+                        self.sim.now - started)
+                else:
+                    reservation = self.cache.reserve(sectors)
+                    yield reservation
                 if epoch != self._epoch:
                     return False
                 granted = reservation.value
@@ -161,10 +189,12 @@ class Controller:
             self._flush_queues[key].put(_FlushJob(
                 epoch=epoch, chunk=chunk, chip=chip,
                 first_sector=first_sector, sectors=sectors,
-                granted=granted))
+                granted=granted, queued_at=self.sim.now))
             # Write-back: the command completes here; the flusher programs
             # the data and reports failures asynchronously (§2.2).
             self.stats.sectors_written += sectors
+            if obs is not None:
+                obs.metrics.counter("ocssd.write.sectors").increment(sectors)
             return True
 
         # Write-through (no cache, or FUA).  A FUA write behind cached
@@ -175,9 +205,12 @@ class Controller:
             if epoch != self._epoch:
                 return False
         ok = yield from self._program(chunk, chip, first_sector, sectors,
-                                      epoch, priority=-1 if fua else 0)
+                                      epoch, priority=-1 if fua else 0,
+                                      span=span)
         if ok:
             self.stats.sectors_written += sectors
+            if obs is not None:
+                obs.metrics.counter("ocssd.write.sectors").increment(sectors)
         return ok
 
     def _flusher(self, key: PuKey, queue: Store):
@@ -186,8 +219,22 @@ class Controller:
             job: _FlushJob = yield queue.get()
             if job.epoch != self._epoch:
                 continue
-            yield from self._program(job.chunk, job.chip, job.first_sector,
-                                     job.sectors, job.epoch)
+            obs = self.obs
+            if obs is not None:
+                # The originating write completed at cache admission, so the
+                # background program is a *detached* root span; the queue
+                # wait is a metric, not a span (no parent to nest under).
+                obs.metrics.histogram("ocssd.flushq.wait_s").record(
+                    self.sim.now - job.queued_at)
+                root = obs.begin("ocssd", "flush.program")
+                yield from self._program(job.chunk, job.chip,
+                                         job.first_sector, job.sectors,
+                                         job.epoch, span=root)
+                obs.end(root, sectors=job.sectors)
+            else:
+                yield from self._program(job.chunk, job.chip,
+                                         job.first_sector, job.sectors,
+                                         job.epoch)
             if job.epoch == self._epoch:
                 self.cache.release(job.granted)
                 self._pending_flush -= 1
@@ -195,7 +242,7 @@ class Controller:
                     self._wake_idle_waiters()
 
     def _program(self, chunk: Chunk, chip: FlashChip, first_sector: int,
-                 sectors: int, epoch: int, priority: int = 0):
+                 sectors: int, epoch: int, priority: int = 0, span=None):
         """Program one sequential run, write unit by write unit.
 
         The chip lock is released between units: flash programs one
@@ -206,22 +253,38 @@ class Controller:
         """
         lock = self._ctx[chunk][1]
         ws_min = self.geometry.ws_min
+        obs = self.obs
         done = 0
         while done < sectors:
             unit = min(ws_min, sectors - done)
             if not lock.try_acquire():
-                yield lock.request(priority)
+                if obs is not None:
+                    wait = obs.begin("ocssd", "chip.wait", span)
+                    started = self.sim.now
+                    yield lock.request(priority)
+                    obs.end(wait)
+                    obs.metrics.histogram("ocssd.chip.wait_s").record(
+                        self.sim.now - started)
+                else:
+                    yield lock.request(priority)
             try:
                 if epoch != self._epoch:
                     return False
+                media = (obs.begin("nand", "program", span)
+                         if obs is not None else None)
                 try:
                     elapsed = chip.program(chunk.address.chunk, unit)
                 except MediaError as exc:
+                    if obs is not None:
+                        obs.end(media, error=str(exc))
+                        obs.error("ocssd", "program-failed", str(exc))
                     self.stats.program_failures += 1
                     chunk.retire()
                     self.notify(chunk.address, "write-failed", str(exc))
                     return False
                 yield self.sim.timeout(elapsed)
+                if media is not None:
+                    obs.end(media, sectors=unit)
                 done += unit
                 if epoch == self._epoch:
                     chunk.mark_flushed(first_sector + done)
@@ -231,7 +294,8 @@ class Controller:
 
     # -- read path -----------------------------------------------------------------
 
-    def read_run(self, chunk: Chunk, first_sector: int, sectors: int):
+    def read_run(self, chunk: Chunk, first_sector: int, sectors: int,
+                 span=None):
         """Process generator: timing for a chunk-contiguous read.
 
         Sectors above the chunk's flushed pointer are served from controller
@@ -242,42 +306,75 @@ class Controller:
         epoch = self._epoch
         chip, lock, channel, __ = self._ctx[chunk]
         payloads = chunk.read(first_sector, sectors)
+        obs = self.obs
 
         media_sectors = max(0, min(chunk.flushed_pointer,
                                    first_sector + sectors) - first_sector)
         cached_sectors = sectors - media_sectors
         self.stats.sectors_read += sectors
         self.stats.sectors_read_from_cache += cached_sectors
+        if obs is not None:
+            obs.metrics.counter("ocssd.read.sectors").increment(sectors)
+            obs.metrics.counter("ocssd.read.sectors_from_cache").increment(
+                cached_sectors)
 
         if media_sectors > 0:
             if not lock.try_acquire():
-                yield lock.request()
+                if obs is not None:
+                    wait = obs.begin("ocssd", "chip.wait", span)
+                    started = self.sim.now
+                    yield lock.request()
+                    obs.end(wait)
+                    obs.metrics.histogram("ocssd.chip.wait_s").record(
+                        self.sim.now - started)
+                else:
+                    yield lock.request()
             try:
                 if epoch != self._epoch:
                     return payloads
+                media = (obs.begin("nand", "read", span)
+                         if obs is not None else None)
                 try:
                     elapsed = chip.read(chunk.address.chunk, first_sector,
                                         media_sectors)
                 except MediaError as exc:
+                    if obs is not None:
+                        obs.end(media, error=str(exc))
+                        obs.error("ocssd", "read-error", str(exc))
                     self.stats.read_failures += 1
                     self.notify(chunk.address, "read-error", str(exc))
                     raise
                 yield self.sim.timeout(elapsed)
+                if media is not None:
+                    obs.end(media, sectors=media_sectors)
             finally:
                 lock.release()
 
         num_bytes = sectors * self.geometry.sector_size
         if not channel.try_acquire():
-            yield channel.request()
+            if obs is not None:
+                wait = obs.begin("ocssd", "channel.wait", span)
+                started = self.sim.now
+                yield channel.request()
+                obs.end(wait)
+                obs.metrics.histogram("ocssd.channel.wait_s").record(
+                    self.sim.now - started)
+            else:
+                yield channel.request()
         try:
-            yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
+            if obs is not None:
+                xfer = obs.begin("ocssd", "xfer", span)
+                yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
+                obs.end(xfer, bytes=num_bytes)
+            else:
+                yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
         finally:
             channel.release()
         return payloads
 
     # -- reset path -----------------------------------------------------------------
 
-    def reset_chunk(self, chunk: Chunk):
+    def reset_chunk(self, chunk: Chunk, span=None):
         """Process generator: erase the chunk's block set.
 
         Returns True on success; on an erase failure the chunk is retired,
@@ -285,18 +382,34 @@ class Controller:
         """
         epoch = self._epoch
         chip, lock, __, __ = self._ctx[chunk]
+        obs = self.obs
         if not lock.try_acquire():
-            yield lock.request()
+            if obs is not None:
+                wait = obs.begin("ocssd", "chip.wait", span)
+                started = self.sim.now
+                yield lock.request()
+                obs.end(wait)
+                obs.metrics.histogram("ocssd.chip.wait_s").record(
+                    self.sim.now - started)
+            else:
+                yield lock.request()
         try:
             if epoch != self._epoch:
                 return False
+            media = (obs.begin("nand", "erase", span)
+                     if obs is not None else None)
             try:
                 elapsed = chip.erase(chunk.address.chunk)
             except MediaError as exc:
+                if obs is not None:
+                    obs.end(media, error=str(exc))
+                    obs.error("ocssd", "reset-failed", str(exc))
                 chunk.retire()
                 self.notify(chunk.address, "reset-failed", str(exc))
                 return False
             yield self.sim.timeout(elapsed)
+            if media is not None:
+                obs.end(media)
             if epoch == self._epoch:
                 chunk.reset()
             self.stats.chunk_resets += 1

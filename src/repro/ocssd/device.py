@@ -67,6 +67,9 @@ _Run = Tuple[Chunk, int, int, int]  # (chunk, first_sector, count, offset)
 
 # Completion statuses bound once: one is attached per submitted command.
 _OK = CommandStatus.OK
+# Root-span / latency-histogram names per command type (repro.obs).
+_COMMAND_KIND = {VectorRead: "read", VectorWrite: "write",
+                 ChunkReset: "reset", VectorCopy: "copy"}
 _WRITE_FAILED = CommandStatus.WRITE_FAILED
 _READ_FAILED = CommandStatus.READ_FAILED
 _RESET_FAILED = CommandStatus.RESET_FAILED
@@ -112,6 +115,9 @@ class OpenChannelSSD:
         # Fault injection (repro.faults): None unless an injector is
         # attached, so the disabled case costs one check per submit.
         self.faults = None
+        # Observability (repro.obs): None unless Obs.attach() wired a hub;
+        # submit() then opens one root span per command.
+        self.obs = None
         self.controller = Controller(
             self.sim, self.geometry, self.chips, self.chunks,
             notify=self._notify, write_back=write_back,
@@ -152,8 +158,11 @@ class OpenChannelSSD:
 
     # -- command submission (in-simulation generator API) -----------------------------
 
-    def submit(self, command):
-        """Process generator executing *command*; returns a Completion."""
+    def submit(self, command, parent=None):
+        """Process generator executing *command*; returns a Completion.
+
+        *parent* is the obs span of the caller (an FTL operation, say) so
+        the device span nests under it when tracing is attached."""
         submitted = self.sim.now
         faults = self.faults
         if faults is not None and not faults.powered:
@@ -162,21 +171,32 @@ class OpenChannelSSD:
             completion.submitted_at = submitted
             completion.completed_at = self.sim.now
             return completion
+        obs = self.obs
+        span = None
+        if obs is not None:
+            kind = _COMMAND_KIND.get(type(command), "invalid")
+            span = obs.begin("ocssd", kind, parent)
         try:
             # Reads outnumber every other command; test them first.
             if isinstance(command, VectorRead):
-                completion = yield from self._do_read(command)
+                completion = yield from self._do_read(command, span)
             elif isinstance(command, VectorWrite):
-                completion = yield from self._do_write(command)
+                completion = yield from self._do_write(command, span)
             elif isinstance(command, ChunkReset):
-                completion = yield from self._do_reset(command)
+                completion = yield from self._do_reset(command, span)
             elif isinstance(command, VectorCopy):
-                completion = yield from self._do_copy(command)
+                completion = yield from self._do_copy(command, span)
             else:
                 raise ReproError(f"unknown command {command!r}")
         except ReproError as exc:
             completion = Completion(status=_INVALID,
                                     error=str(exc))
+            if obs is not None:
+                obs.error("ocssd", "invalid-command", str(exc))
+        if obs is not None:
+            obs.end(span, status=completion.status.name)
+            obs.metrics.histogram(f"ocssd.{kind}.latency_s").record(
+                self.sim.now - submitted)
         completion.submitted_at = submitted
         completion.completed_at = self.sim.now
         return completion
@@ -254,7 +274,7 @@ class OpenChannelSSD:
             start = end
         return runs
 
-    def _do_write(self, command: VectorWrite):
+    def _do_write(self, command: VectorWrite, span=None):
         runs = self._split_runs(command.ppas)
         # Admission is synchronous and in vector order: write pointers
         # advance and payloads become readable before the timed transfer —
@@ -271,11 +291,11 @@ class OpenChannelSSD:
             # instead of paying a process spawn + join for no parallelism.
             chunk, first_sector, count, __ = runs[0]
             results = [(yield from self.controller.write_run(
-                chunk, first_sector, count, fua=command.fua))]
+                chunk, first_sector, count, fua=command.fua, span=span))]
         else:
             procs = [self.sim.spawn(
                          self.controller.write_run(chunk, first_sector, count,
-                                                   fua=command.fua),
+                                                   fua=command.fua, span=span),
                          name=f"write{chunk.address.chunk_key()}")
                      for chunk, first_sector, count, __ in runs]
             results = yield self.sim.all_of(procs)
@@ -284,7 +304,7 @@ class OpenChannelSSD:
         return Completion(status=_WRITE_FAILED,
                           error="program failure (see notifications)")
 
-    def _do_read(self, command: VectorRead):
+    def _do_read(self, command: VectorRead, span=None):
         runs = self._split_runs(command.ppas)
         data: List[Optional[bytes]] = [None] * len(command.ppas)
         oob: List[Optional[object]] = [None] * len(command.ppas)
@@ -293,7 +313,7 @@ class OpenChannelSSD:
         def one_run(chunk: Chunk, first_sector: int, count: int, offset: int):
             try:
                 payloads = yield from self.controller.read_run(
-                    chunk, first_sector, count)
+                    chunk, first_sector, count, span=span)
             except MediaError as exc:
                 failures.append(str(exc))
                 return
@@ -313,15 +333,15 @@ class OpenChannelSSD:
                               oob=oob, error="; ".join(failures))
         return Completion(status=_OK, data=data, oob=oob)
 
-    def _do_reset(self, command: ChunkReset):
+    def _do_reset(self, command: ChunkReset, span=None):
         chunk = self._chunk(command.ppa)
-        ok = yield from self.controller.reset_chunk(chunk)
+        ok = yield from self.controller.reset_chunk(chunk, span=span)
         if ok:
             return Completion(status=_OK)
         return Completion(status=_RESET_FAILED,
                           error=f"reset failed for {chunk.address}")
 
-    def _do_copy(self, command: VectorCopy):
+    def _do_copy(self, command: VectorCopy, span=None):
         """Device-internal copy: data never crosses the host interface.
 
         Payloads move synchronously (chunk state to chunk state); the timed
@@ -345,7 +365,8 @@ class OpenChannelSSD:
         def read_timing(chunk: Chunk, first_sector: int, count: int,
                         offset: int):
             try:
-                yield from self.controller.read_run(chunk, first_sector, count)
+                yield from self.controller.read_run(chunk, first_sector,
+                                                    count, span=span)
             except MediaError:
                 # Data already staged; a source read error during copy is
                 # surfaced through the notification log only.
@@ -354,7 +375,8 @@ class OpenChannelSSD:
         procs = [self.sim.spawn(read_timing(*run), name="copy-read")
                  for run in src_runs]
         procs += [self.sim.spawn(
-                      self.controller.write_run(chunk, first_sector, count),
+                      self.controller.write_run(chunk, first_sector, count,
+                                                span=span),
                       name="copy-write")
                   for chunk, first_sector, count, __ in dst_runs]
         yield self.sim.all_of(procs)

@@ -103,6 +103,10 @@ class OXBlock:
         self._lock = Resource(self.sim, capacity=1, name="dispatch")
         self._alive = True
         self.stats = BlockStats()
+        # Observability (repro.obs): inherited from the simulator at
+        # construction — attach the hub to the device *before* building
+        # the FTL stack, or this stays None (tracing disabled).
+        self.obs = self.sim.obs
         self.gc = GarbageCollector(
             media, page_map, chunk_table, provisioner, self.wal,
             self._take_txn_id,
@@ -207,8 +211,18 @@ class OXBlock:
                 f"write of {len(data)} bytes is not a whole number of "
                 f"{sector_size}-byte sectors")
         count = len(data) // sector_size
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("ftl", "write")
+            op_started = self.sim.now
+            lock_wait = obs.begin("ftl", "lock.wait", span)
         grant = self._lock.request()
         yield grant
+        if obs is not None:
+            obs.end(lock_wait)
+            obs.metrics.histogram("ftl.lock.wait_s").record(
+                self.sim.now - op_started)
         try:
             # Both of these run *before* the transaction mutates anything:
             # a checkpoint persists whatever the map says, and GC trusts
@@ -248,7 +262,7 @@ class OXBlock:
                     # allocation cursor for good.
                     if completed_units:
                         yield self.sim.all_of(
-                            [self.sim.spawn(self._write_unit_proc(u))
+                            [self.sim.spawn(self._write_unit_proc(u, span))
                              for u in completed_units])
                     raise
                 cur = lba + index
@@ -264,12 +278,12 @@ class OXBlock:
                                 previous if previous is not None else NO_PPA))
                 if unit is not None:
                     completed_units.append(unit)
-            unit_procs = [self.sim.spawn(self._write_unit_proc(unit))
+            unit_procs = [self.sim.spawn(self._write_unit_proc(unit, span))
                           for unit in completed_units]
             self.wal.append_map_update(txn_id, entries)
             self.wal.append_commit(txn_id)
             try:
-                yield from self.wal.flush_proc()
+                yield from self.wal.flush_proc(parent=span)
             except ReproError as exc:
                 # The txn was never acknowledged.  A WAL-ring exhaustion
                 # (FTLError) leaves the media untouched, so the map
@@ -299,6 +313,10 @@ class OXBlock:
             self._lock.release()
         self.stats.writes += 1
         self.stats.sectors_written += count
+        if obs is not None:
+            obs.end(span, sectors=count)
+            obs.metrics.histogram("ftl.write.latency_s").record(
+                self.sim.now - op_started)
         self._absorb_notifications()
         self._poke_gc()
         return txn_id
@@ -309,6 +327,11 @@ class OXBlock:
             raise FTLError(f"read of {sectors} sectors")
         sector_size = self.geometry.sector_size
         pieces: List[Optional[bytes]] = [None] * sectors
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("ftl", "read")
+            op_started = self.sim.now
         for attempt in range(3):
             missing: List[Tuple[int, Ppa]] = []
             for index in range(sectors):
@@ -326,7 +349,7 @@ class OXBlock:
             if not missing:
                 break
             completion = yield from self.media.read_proc(
-                [ppa for __, ppa in missing])
+                [ppa for __, ppa in missing], parent=span)
             if completion.ok:
                 for (index, __), payload in zip(missing, completion.data):
                     pieces[index] = pad_sector(payload, sector_size)
@@ -342,6 +365,10 @@ class OXBlock:
                 raise FTLError(f"read hole at lba {lba + index}")
         self.stats.reads += 1
         self.stats.sectors_read += sectors
+        if obs is not None:
+            obs.end(span, sectors=sectors)
+            obs.metrics.histogram("ftl.read.latency_s").record(
+                self.sim.now - op_started)
         return b"".join(pieces)
 
     def trim_proc(self, lba: int, sectors: int = 1):
@@ -427,6 +454,10 @@ class OXBlock:
             self.stats.chunks_retired += 1
             self.stats.sectors_lost += len(lost)
             self.lost_lbas.extend(lost)
+            if self.obs is not None:
+                self.obs.error("ftl", "chunk-retired",
+                               f"{note.kind} at {note.ppa}: "
+                               f"{len(lost)} mapped sector(s) lost")
 
     def _take_txn_id(self) -> int:
         txn_id = self._next_txn_id
@@ -491,9 +522,9 @@ class OXBlock:
         yield from self._flush_partial_unit_proc()
         yield from self.media.flush_proc()
 
-    def _write_unit_proc(self, unit: PendingUnit):
+    def _write_unit_proc(self, unit: PendingUnit, parent=None):
         completion = yield from self.media.write_proc(
-            unit.ppas, unit.data, oob=list(unit.lbas))
+            unit.ppas, unit.data, oob=list(unit.lbas), parent=parent)
         self.media.require_ok(completion, "data unit write")
         self.buffer.mark_written(unit)
 
@@ -577,13 +608,15 @@ class OXBlock:
                 try:
                     yield from self.gc.collect_until_locked_proc(
                         self.config.gc_high_watermark)
-                except ReproError:
+                except ReproError as exc:
                     # A failed victim scan, copy or reset must not kill
                     # the collector for the rest of the FTL's life: the
                     # victim stays where it is and the next wakeup
                     # retries.  (Power loss lands here too; the daemon
-                    # then parks until crash() interrupts it.)
-                    pass
+                    # then parks until crash() interrupts it.)  Absorbed,
+                    # but not silent: the hub counts it.
+                    if self.obs is not None:
+                        self.obs.error("ftl.gc", "daemon-absorbed", str(exc))
                 finally:
                     self._lock.release()
         except Interrupt:
@@ -599,7 +632,10 @@ class OXBlock:
                     return
                 try:
                     yield from self._checkpoint_locked_proc()
-                except ReproError:
-                    pass   # retry at the next interval
+                except ReproError as exc:
+                    # Retry at the next interval — but surface the miss.
+                    if self.obs is not None:
+                        self.obs.error("ftl", "checkpoint-absorbed",
+                                       str(exc))
         except Interrupt:
             return

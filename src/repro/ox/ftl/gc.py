@@ -72,6 +72,10 @@ class GarbageCollector:
                  stabilize_proc: Optional[Callable] = None,
                  wal_relief_proc: Optional[Callable] = None):
         self.media = media
+        self.sim = media.sim
+        # Observability (repro.obs): inherited from the simulator; None
+        # unless a hub was attached before the FTL stack was built.
+        self.obs = media.sim.obs
         self.geometry = media.geometry
         self.page_map = page_map
         self.chunk_table = chunk_table
@@ -200,9 +204,16 @@ class GarbageCollector:
         """
         key = victim.key
         base = Ppa(*key, 0)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            # One root span per victim: GC runs are background work, not
+            # nested under any foreground command.
+            span = obs.begin("ftl.gc", "collect")
+            collect_started = self.sim.now
         info = self.media.chunk_info(base)
         live, unsafe = yield from self._find_live_sectors_proc(
-            key, info.write_pointer)
+            key, info.write_pointer, parent=span)
         if unsafe or self.volatile_pending():
             # Unsafe sector: superseded only by a not-yet-durable copy.
             # Volatile pending: an acked txn still has staged sectors, so
@@ -217,6 +228,9 @@ class GarbageCollector:
                     # Padding the partial unit needs an allocation; when
                     # even that fails, the victim cannot be made safe.
                     self.stats.deferrals_unsafe += 1
+                    if obs is not None:
+                        obs.end(span, outcome="deferred")
+                        obs.metrics.counter("ftl.gc.deferrals").increment()
                     return False
             # The barrier may have padded a staged partial unit into this
             # very victim (its volatile tail is what made it unsafe),
@@ -225,18 +239,23 @@ class GarbageCollector:
             # their only copy.
             info = self.media.chunk_info(base)
             live, unsafe = yield from self._find_live_sectors_proc(
-                key, info.write_pointer)
+                key, info.write_pointer, parent=span)
             if unsafe or self.volatile_pending():
                 self.stats.deferrals_unsafe += 1
+                if obs is not None:
+                    obs.end(span, outcome="deferred")
+                    obs.metrics.counter("ftl.gc.deferrals").increment()
                 return False
         if live:
-            moved = yield from self._relocate_proc(key, live)
+            moved = yield from self._relocate_proc(key, live, parent=span)
             if not moved:
+                if obs is not None:
+                    obs.end(span, outcome="aborted")
                 return False
         # Copies (if any) are durable and remapped; the victim holds only
         # dead data now.
         victim.valid_count = 0
-        completion = yield from self.media.reset_proc(base)
+        completion = yield from self.media.reset_proc(base, parent=span)
         self.stats.resets += 1
         if completion.ok:
             self.provisioner.release_chunk(key)
@@ -244,11 +263,21 @@ class GarbageCollector:
         else:
             self.provisioner.retire_chunk(key)
             self.stats.reset_failures += 1
+            if obs is not None:
+                obs.error("ftl.gc", "reset-failed",
+                          completion.error or str(base))
         if self.wal_relief_proc is not None:
             yield from self.wal_relief_proc()
+        if obs is not None:
+            obs.end(span, outcome="recycled" if completion.ok else "retired",
+                    relocated=len(live))
+            obs.metrics.counter("ftl.gc.chunks_recycled").increment()
+            obs.metrics.histogram("ftl.gc.collect_s").record(
+                self.sim.now - collect_started)
         return True
 
-    def _find_live_sectors_proc(self, key: ChunkKey, write_pointer: int):
+    def _find_live_sectors_proc(self, key: ChunkKey, write_pointer: int,
+                                parent=None):
         """Read the victim's OOB to learn owning LBAs, keep the sectors the
         mapping table still points at.  The read is real device traffic —
         this is the GC interference the locality experiment measures.
@@ -262,7 +291,7 @@ class GarbageCollector:
         if write_pointer == 0:
             return [], 0
         ppas = [Ppa(*key, s) for s in range(write_pointer)]
-        completion = yield from self.media.read_proc(ppas)
+        completion = yield from self.media.read_proc(ppas, parent=parent)
         self.media.require_ok(completion, "GC victim scan")
         live: List[Tuple[int, int]] = []   # (sector, lba)
         unsafe = 0
@@ -284,7 +313,8 @@ class GarbageCollector:
                 unsafe += 1
         return live, unsafe
 
-    def _relocate_proc(self, key: ChunkKey, live: List[Tuple[int, int]]):
+    def _relocate_proc(self, key: ChunkKey, live: List[Tuple[int, int]],
+                       parent=None):
         """Copy *live* out of the victim and commit the moves; returns True
         on success, False when allocation ran dry mid-relocation."""
         ws_min = self.geometry.ws_min
@@ -314,12 +344,14 @@ class GarbageCollector:
             # pointers stay aligned, then skip the victim.
             if dst:
                 completion = yield from self.media.write_proc(
-                    dst, [b""] * len(dst), oob=[NO_PPA] * len(dst))
+                    dst, [b""] * len(dst), oob=[NO_PPA] * len(dst),
+                    parent=parent)
                 self.media.require_ok(completion, "GC relocation abort pad")
             self.stats.skips_no_space += 1
             return False
         completion = yield from self.media.copy_proc(src, dst,
-                                                     dst_oob=list(lbas))
+                                                     dst_oob=list(lbas),
+                                                     parent=parent)
         self.media.require_ok(completion, "GC relocation copy")
         yield from self.media.flush_proc()
 
@@ -338,8 +370,11 @@ class GarbageCollector:
             self.chunk_table.invalidate(key)
             entries.append((lba, new_linear, old_linear))
             self.stats.sectors_relocated += 1
+        if self.obs is not None and entries:
+            self.obs.metrics.counter(
+                "ftl.gc.sectors_relocated").increment(len(entries))
         if entries:
             self.wal.append_map_update(txn, entries)
             self.wal.append_commit(txn)
-            yield from self.wal.flush_proc()
+            yield from self.wal.flush_proc(parent=parent)
         return True

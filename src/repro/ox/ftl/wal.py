@@ -43,6 +43,10 @@ class WalAppender:
         if not chunks:
             raise FTLError("WAL needs at least one chunk")
         self.media = media
+        self.sim = media.sim
+        # Observability (repro.obs): inherited from the simulator; None
+        # unless a hub was attached before the FTL stack was built.
+        self.obs = media.sim.obs
         self.chunks = list(chunks)
         self.epoch = epoch
         geometry = media.geometry
@@ -87,7 +91,7 @@ class WalAppender:
     def append_commit(self, txn_id: int) -> None:
         self.append(serial.encode_commit(txn_id))
 
-    def flush_proc(self):
+    def flush_proc(self, parent=None):
         """Process generator: write buffered frames durably (FUA).
 
         Pads the batch to a whole number of write units.  Raises
@@ -110,6 +114,11 @@ class WalAppender:
         if pad:
             frames.extend([self._noop_frame] * pad)
 
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("ftl.wal", "flush", parent)
+            flush_started = self.sim.now
         total = 0
         while frames:
             if self._next_sector >= self.sectors_per_chunk:
@@ -128,12 +137,17 @@ class WalAppender:
             oob = [("wal", self.epoch, self._seq + i)
                    for i in range(len(batch))]
             completion = yield from self.media.write_proc(
-                ppas, batch, oob=oob, fua=True)
+                ppas, batch, oob=oob, fua=True, parent=span)
             self.media.require_ok(completion, "WAL flush")
             self._next_sector += len(batch)
             self._seq += len(batch)
             self.sectors_written += len(batch)
             total += len(batch)
+        if obs is not None:
+            obs.end(span, sectors=total)
+            obs.metrics.histogram("ftl.wal.flush_s").record(
+                self.sim.now - flush_started)
+            obs.metrics.counter("ftl.wal.sectors").increment(total)
         return total
 
     # -- truncation --------------------------------------------------------------------

@@ -43,20 +43,22 @@ class MediaManager:
     # carries one generator frame less through every resume.
 
     def write_proc(self, ppas: List[Ppa], data: List[Optional[bytes]],
-                   oob: Optional[List[object]] = None, fua: bool = False):
+                   oob: Optional[List[object]] = None, fua: bool = False,
+                   parent=None):
         return self.device.submit(
-            VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua))
+            VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua),
+            parent=parent)
 
-    def read_proc(self, ppas: List[Ppa]):
-        return self.device.submit(VectorRead(ppas=ppas))
+    def read_proc(self, ppas: List[Ppa], parent=None):
+        return self.device.submit(VectorRead(ppas=ppas), parent=parent)
 
-    def reset_proc(self, ppa: Ppa):
-        return self.device.submit(ChunkReset(ppa=ppa))
+    def reset_proc(self, ppa: Ppa, parent=None):
+        return self.device.submit(ChunkReset(ppa=ppa), parent=parent)
 
     def copy_proc(self, src: List[Ppa], dst: List[Ppa],
-                  dst_oob: Optional[List[object]] = None):
+                  dst_oob: Optional[List[object]] = None, parent=None):
         return self.device.submit(
-            VectorCopy(src=src, dst=dst, dst_oob=dst_oob))
+            VectorCopy(src=src, dst=dst, dst_oob=dst_oob), parent=parent)
 
     def flush_proc(self):
         return self.device.flush_proc()

@@ -286,6 +286,11 @@ class Simulator:
         # Heap entries popped and executed so far; the perf harness reports
         # this as simulated-events-processed/sec.
         self.events_processed = 0
+        # Observability (repro.obs): None unless a hub is attached.  Layers
+        # built on this simulator inherit the hub from here, and the only
+        # instrumented path in the core is spawn() — the inner event loop
+        # stays untouched.
+        self.obs = None
 
     # -- event construction ------------------------------------------------
 
@@ -299,6 +304,8 @@ class Simulator:
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process driving *generator*."""
+        if self.obs is not None:
+            self.obs.on_spawn(name)
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> Event:

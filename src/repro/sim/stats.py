@@ -8,21 +8,13 @@ experiment relies on latency observations (:class:`LatencyRecorder`).
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
+# Counter and the percentile machinery moved to repro.obs.metrics (the
+# metrics registry is the one home for instruments now); re-exported
+# here so existing imports keep working.
+from repro.obs.metrics import Counter, Histogram
 from repro.sim.core import Simulator
-
-
-class Counter:
-    """A named monotonically-increasing counter."""
-
-    def __init__(self, name: str = ""):
-        self.name = name
-        self.value = 0
-
-    def increment(self, amount: int = 1) -> None:
-        self.value += amount
 
 
 class ThroughputRecorder:
@@ -63,43 +55,13 @@ class ThroughputRecorder:
         return self.total / elapsed
 
 
-class LatencyRecorder:
-    """Collects individual latency samples and summarizes them."""
+class LatencyRecorder(Histogram):
+    """Collects individual latency samples and summarizes them.
 
-    def __init__(self, name: str = ""):
-        self.name = name
-        self._samples: List[float] = []
-
-    def record(self, latency: float) -> None:
-        self._samples.append(latency)
-
-    def extend(self, latencies: Iterable[float]) -> None:
-        self._samples.extend(latencies)
-
-    @property
-    def count(self) -> int:
-        return len(self._samples)
-
-    def mean(self) -> float:
-        if not self._samples:
-            return 0.0
-        return sum(self._samples) / len(self._samples)
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile; *q* in [0, 100]."""
-        if not self._samples:
-            return 0.0
-        if not 0 <= q <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        ordered = sorted(self._samples)
-        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
-        return ordered[rank]
-
-    def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
-
-    def samples(self) -> Sequence[float]:
-        return tuple(self._samples)
+    An alias of :class:`repro.obs.metrics.Histogram` — one nearest-rank
+    percentile implementation for the whole repo — kept under its
+    historical name for the measurement-focused call sites.
+    """
 
 
 class UtilizationTracker:

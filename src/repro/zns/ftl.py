@@ -66,6 +66,9 @@ class OXZns:
         self.zones: List[Zone] = []
         self._open_count = 0
         self.stats = ZnsStats()
+        # Observability (repro.obs): inherited from the simulator; None
+        # unless a hub was attached before this FTL was built.
+        self.obs = media.sim.obs
         self._build_zones()
 
     def _build_zones(self) -> None:
@@ -126,6 +129,11 @@ class OXZns:
             self._open_count += 1
         start_lba = zone.start_lba + zone.write_pointer
 
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("zns", "append")
+            append_started = self.sim.now
         ws_min = self.geometry.ws_min
         offset = zone.write_pointer
         remaining = sectors
@@ -152,7 +160,8 @@ class OXZns:
             oob = [("zns", zone_id, offset + i if i < count else -1)
                    for i in range(padded)]
             procs.append(self.sim.spawn(
-                self.media.write_proc(ppas, payloads, oob=oob)))
+                self.media.write_proc(ppas, payloads, oob=oob,
+                                      parent=span)))
             offset += padded
             data_offset += count
             remaining -= count
@@ -166,6 +175,11 @@ class OXZns:
             self._open_count -= 1
         self.stats.appends += 1
         self.stats.sectors_appended += sectors
+        if obs is not None:
+            obs.end(span, zone=zone_id, sectors=sectors)
+            obs.metrics.counter("zns.append.sectors").increment(sectors)
+            obs.metrics.histogram("zns.append.latency_s").record(
+                self.sim.now - append_started)
         return start_lba
 
     def read(self, lba: int, sectors: int = 1) -> bytes:
@@ -181,9 +195,18 @@ class OXZns:
         for i in range(sectors):
             chunk_index, in_chunk = self._locate(zone, offset + i)
             ppas.append(Ppa(*zone.chunks[chunk_index], in_chunk))
-        completion = yield from self.media.read_proc(ppas)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("zns", "read")
+            read_started = self.sim.now
+        completion = yield from self.media.read_proc(ppas, parent=span)
         self.media.require_ok(completion, f"zone {zone_id} read")
         self.stats.sectors_read += sectors
+        if obs is not None:
+            obs.end(span, zone=zone_id, sectors=sectors)
+            obs.metrics.histogram("zns.read.latency_s").record(
+                self.sim.now - read_started)
         return b"".join(pad_sector(payload, sector_size)
                         for payload in completion.data)
 
@@ -194,20 +217,30 @@ class OXZns:
         zone = self.zone(zone_id)
         was_open = zone.state is ZoneState.OPEN
         zone.reset()   # validates state first
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.begin("zns", "reset")
         yield from self.media.flush_proc()
         failed = False
         for key in zone.chunks:
             info = self.media.chunk_info(Ppa(*key, 0))
             if info.write_pointer == 0 and info.state.value == "free":
                 continue
-            completion = yield from self.media.reset_proc(Ppa(*key, 0))
+            completion = yield from self.media.reset_proc(Ppa(*key, 0),
+                                                          parent=span)
             if not completion.ok:
                 failed = True
         if was_open:
             self._open_count -= 1
+        if obs is not None:
+            obs.end(span, zone=zone_id, failed=failed)
+            obs.metrics.counter("zns.zone_resets").increment()
         if failed:
             zone.retire()
             self.stats.zones_retired += 1
+            if obs is not None:
+                obs.error("zns", "zone-retired", f"zone {zone_id}")
             raise ZoneError(f"zone {zone_id} retired: chunk reset failed")
         self.stats.zone_resets += 1
 
