@@ -42,6 +42,7 @@ from repro.benchhelpers import (
     RESULTS_DIR,
     TRAJECTORY_PATH,
     append_trajectory,
+    git_sha,
     load_trajectory,
     report,
 )
@@ -212,7 +213,10 @@ def main(argv=None) -> int:
     failure = check_regression(cfg["name"], metrics,
                                args.json_path) if args.check else None
     if not args.no_append:
-        append_trajectory(cfg["name"], metrics, args.json_path)
+        # Key each recorded entry by the commit it measured, so the
+        # trajectory reads as one point per PR.
+        append_trajectory(cfg["name"], metrics, args.json_path,
+                          sha=git_sha())
     if failure:
         print(f"FAIL: {failure}", file=sys.stderr)
         return 1

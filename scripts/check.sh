@@ -18,6 +18,9 @@ python benchmarks/bench_perf_trajectory.py --smoke --check --no-append
 echo "== obs guard (tracing overhead + trace validity) =="
 python scripts/obs_guard.py
 
+echo "== qos guard (no-qos fast path + isolation smoke) =="
+python scripts/qos_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

@@ -43,13 +43,32 @@ def report(name: str, lines: Iterable[str],
     return path
 
 
-def bench_entry(name: str, metrics: Mapping[str, object]) -> dict:
-    """One trajectory/result entry: ``{"name", "date", "metrics"}``."""
-    return {
+def bench_entry(name: str, metrics: Mapping[str, object],
+                sha: Optional[str] = None) -> dict:
+    """One trajectory/result entry: ``{"name", "date", "metrics"}``,
+    plus ``"sha"`` (the git commit measured) when known."""
+    entry = {
         "name": name,
         "date": datetime.date.today().isoformat(),
         "metrics": dict(metrics),
     }
+    if sha:
+        entry["sha"] = sha
+    return entry
+
+
+def git_sha(repo_root: str = REPO_ROOT) -> Optional[str]:
+    """The repo's short HEAD SHA, or None outside git / without git."""
+    try:
+        import subprocess
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=repo_root,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
 
 
 def report_json(name: str, metrics: Mapping[str, object]) -> str:
@@ -94,10 +113,11 @@ def load_trajectory(path: str = TRAJECTORY_PATH) -> List[dict]:
 
 
 def append_trajectory(name: str, metrics: Mapping[str, object],
-                      path: str = TRAJECTORY_PATH) -> dict:
+                      path: str = TRAJECTORY_PATH,
+                      sha: Optional[str] = None) -> dict:
     """Append one entry to the perf trajectory file and return it."""
     entries = load_trajectory(path)
-    entry = bench_entry(name, metrics)
+    entry = bench_entry(name, metrics, sha=sha)
     entries.append(entry)
     with open(path, "w") as handle:
         json.dump(entries, handle, indent=2, sort_keys=True)

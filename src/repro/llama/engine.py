@@ -56,6 +56,12 @@ class LlamaEngine:
         self._page_segment: Dict[int, int] = {}
         self.stats = LlamaStats()
 
+    @property
+    def tenant(self):
+        """The :class:`~repro.qos.TenantContext` of the underlying FTL;
+        None when untagged."""
+        return self.ftl.tenant
+
     # -- write path -----------------------------------------------------------
 
     def update(self, pid: int, delta: bytes) -> None:

@@ -101,6 +101,12 @@ class BlockDevEnv(StorageEnv):
         self._tables: Dict[int, Tuple[_Extent, int, int, int, int]] = {}
         self.manifest: List[Tuple[str, int, int]] = []
 
+    @property
+    def tenant(self):
+        """The :class:`~repro.qos.TenantContext` of the underlying FTL;
+        None when untagged."""
+        return self.ftl.tenant
+
     # -- StorageEnv -----------------------------------------------------------
 
     @property

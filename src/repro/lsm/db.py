@@ -85,6 +85,9 @@ class DB:
         # Observability (repro.obs): inherited from the simulator; None
         # unless a hub was attached before the DB was built.
         self.obs = sim.obs
+        # QoS (repro.qos): inherited the same way; when present,
+        # compaction yields to backlogged foreground reads block by block.
+        self.qos = sim.qos
         self._next_sstable_id = 1
         self._alive = True
         self._flush_wanted = sim.event()
@@ -412,7 +415,8 @@ class DB:
                                                  self.config.max_levels))
         outputs = yield from self._write_tables_proc(
             cursors, level=pick.target_level,
-            drop_tombstones=not deeper_occupied)
+            drop_tombstones=not deeper_occupied,
+            yield_to_foreground=True)
         # Install the new version: remove inputs, outputs are already in.
         input_set = {id(t) for t in pick.inputs}
         for level in range(self.config.max_levels):
@@ -435,9 +439,17 @@ class DB:
     # -- table writing (shared by flush and compaction) ------------------------------------
 
     def _write_tables_proc(self, cursors, level: int,
-                           drop_tombstones: bool):
-        """Merge *cursors* into one or more new SSTables at *level*."""
+                           drop_tombstones: bool,
+                           yield_to_foreground: bool = False):
+        """Merge *cursors* into one or more new SSTables at *level*.
+
+        *yield_to_foreground* (compaction only — flushes gate admission
+        and must finish promptly) pauses before each block write while
+        the QoS scheduler reports backlogged foreground reads.
+        """
         outputs: List[TableRef] = []
+        bg_gate = (self.qos.background_gate_proc
+                   if yield_to_foreground and self.qos is not None else None)
         state = {"builder": None, "writer": None, "bytes": 0}
         target_bytes = self.sstable_data_bytes
 
@@ -481,6 +493,8 @@ class DB:
                 yield from start_table_proc()
             block = state["builder"].add(key, value)
             if block is not None:
+                if bg_gate is not None:
+                    yield from bg_gate()
                 yield from self.limiter.acquire_proc(len(block))
                 yield from state["writer"].append_block_proc(block)
             entry_bytes = len(key) + (len(value)

@@ -105,6 +105,12 @@ class ZnsEnv(StorageEnv):
         self._tables: Dict[int, _ZnsTable] = {}
         self.manifest: List[Tuple[str, int, int]] = []
 
+    @property
+    def tenant(self):
+        """The :class:`~repro.qos.TenantContext` of the underlying
+        namespace; None when untagged."""
+        return self.zns.tenant
+
     # -- StorageEnv -------------------------------------------------------------
 
     @property

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.ocssd.address import Ppa
+
+if TYPE_CHECKING:   # typing only: repro.qos must stay un-imported at runtime
+    from repro.qos.tenant import TenantContext
 
 
 class CommandStatus(enum.Enum):
@@ -41,6 +44,8 @@ class VectorWrite:
     data: List[Optional[bytes]]
     oob: Optional[List[object]] = None
     fua: bool = False
+    #: Originating tenant (repro.qos); None for infrastructure I/O.
+    tenant: Optional["TenantContext"] = None
 
     def __post_init__(self) -> None:
         if len(self.ppas) != len(self.data):
@@ -58,6 +63,8 @@ class VectorRead:
     """Read the sectors named by *ppas* (any scatter pattern)."""
 
     ppas: List[Ppa]
+    #: Originating tenant (repro.qos); None for infrastructure I/O.
+    tenant: Optional["TenantContext"] = None
 
 
 @dataclass(slots=True)
@@ -65,6 +72,8 @@ class ChunkReset:
     """Reset (erase) the chunk containing *ppa*."""
 
     ppa: Ppa
+    #: Originating tenant (repro.qos); None for infrastructure I/O.
+    tenant: Optional["TenantContext"] = None
 
 
 @dataclass(slots=True)
@@ -81,6 +90,8 @@ class VectorCopy:
     src: List[Ppa]
     dst: List[Ppa]
     dst_oob: Optional[List[object]] = None
+    #: Originating tenant (repro.qos); None for infrastructure I/O.
+    tenant: Optional["TenantContext"] = None
 
     def __post_init__(self) -> None:
         if len(self.src) != len(self.dst):

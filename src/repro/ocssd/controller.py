@@ -90,6 +90,11 @@ class Controller:
         # Observability (repro.obs): None unless a hub is attached; every
         # instrumented path below guards on it, faults-style.
         self.obs = None
+        # QoS scheduler (repro.qos): None unless attached; with it, channel
+        # grants route through the scheduler's gate (weighted DRR + read
+        # priority) instead of the Resources' FIFO order, and chip-lock
+        # priorities favor reads over erases.
+        self.qos = None
         self._epoch = 0
         self._pending_flush = 0
         self._idle_waiters: List[object] = []
@@ -136,16 +141,24 @@ class Controller:
     # -- write path ---------------------------------------------------------------
 
     def write_run(self, chunk: Chunk, first_sector: int, sectors: int,
-                  fua: bool = False, span=None):
+                  fua: bool = False, span=None, tenant=None):
         """Process generator: timing for a chunk-sequential write already
         admitted into *chunk* (data and write pointer updated by the device
         before this runs).  ``fua`` forces write-through.  *span* is the
-        obs parent (the device command span) when tracing is attached."""
+        obs parent (the device command span) when tracing is attached;
+        *tenant* is the originating :class:`~repro.qos.TenantContext` (or
+        None for infrastructure I/O)."""
         epoch = self._epoch
         chip, __, channel, key = self._ctx[chunk]
         num_bytes = sectors * self.geometry.sector_size
         obs = self.obs
+        qos = self.qos
 
+        if qos is not None:
+            # Throttle + scheduler gate; once this returns, the gate
+            # guarantees the channel Resource below is free.
+            yield from qos.channel_acquire_proc(tenant, "write", key[0],
+                                                num_bytes)
         if not channel.try_acquire():
             if obs is not None:
                 wait = obs.begin("ocssd", "channel.wait", span)
@@ -165,6 +178,8 @@ class Controller:
                 yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
         finally:
             channel.release()
+            if qos is not None:
+                qos.channel_release(key[0])
         if epoch != self._epoch:
             return False
 
@@ -295,7 +310,7 @@ class Controller:
     # -- read path -----------------------------------------------------------------
 
     def read_run(self, chunk: Chunk, first_sector: int, sectors: int,
-                 span=None):
+                 span=None, tenant=None):
         """Process generator: timing for a chunk-contiguous read.
 
         Sectors above the chunk's flushed pointer are served from controller
@@ -304,9 +319,10 @@ class Controller:
         :class:`MediaError` on an uncorrectable read.
         """
         epoch = self._epoch
-        chip, lock, channel, __ = self._ctx[chunk]
+        chip, lock, channel, key = self._ctx[chunk]
         payloads = chunk.read(first_sector, sectors)
         obs = self.obs
+        qos = self.qos
 
         media_sectors = max(0, min(chunk.flushed_pointer,
                                    first_sector + sectors) - first_sector)
@@ -320,15 +336,25 @@ class Controller:
 
         if media_sectors > 0:
             if not lock.try_acquire():
-                if obs is not None:
-                    wait = obs.begin("ocssd", "chip.wait", span)
-                    started = self.sim.now
-                    yield lock.request()
-                    obs.end(wait)
-                    obs.metrics.histogram("ocssd.chip.wait_s").record(
-                        self.sim.now - started)
-                else:
-                    yield lock.request()
+                # Under qos, host reads jump the chip queue (ahead of
+                # programs and erases) and count toward the foreground
+                # backlog that throttles background GC/compaction.
+                priority = 0 if qos is None else qos.config.read_priority
+                if qos is not None:
+                    qos.note_read_blocked(1)
+                try:
+                    if obs is not None:
+                        wait = obs.begin("ocssd", "chip.wait", span)
+                        started = self.sim.now
+                        yield lock.request(priority)
+                        obs.end(wait)
+                        obs.metrics.histogram("ocssd.chip.wait_s").record(
+                            self.sim.now - started)
+                    else:
+                        yield lock.request(priority)
+                finally:
+                    if qos is not None:
+                        qos.note_read_blocked(-1)
             try:
                 if epoch != self._epoch:
                     return payloads
@@ -351,6 +377,9 @@ class Controller:
                 lock.release()
 
         num_bytes = sectors * self.geometry.sector_size
+        if qos is not None:
+            yield from qos.channel_acquire_proc(tenant, "read", key[0],
+                                                num_bytes)
         if not channel.try_acquire():
             if obs is not None:
                 wait = obs.begin("ocssd", "channel.wait", span)
@@ -370,11 +399,13 @@ class Controller:
                 yield self.sim.timeout(chip.timing.transfer_time(num_bytes))
         finally:
             channel.release()
+            if qos is not None:
+                qos.channel_release(key[0])
         return payloads
 
     # -- reset path -----------------------------------------------------------------
 
-    def reset_chunk(self, chunk: Chunk, span=None):
+    def reset_chunk(self, chunk: Chunk, span=None, tenant=None):
         """Process generator: erase the chunk's block set.
 
         Returns True on success; on an erase failure the chunk is retired,
@@ -383,16 +414,20 @@ class Controller:
         epoch = self._epoch
         chip, lock, __, __ = self._ctx[chunk]
         obs = self.obs
+        qos = self.qos
         if not lock.try_acquire():
+            # A 3.5 ms erase is the worst thing a read can queue behind;
+            # under qos it waits at the lowest chip priority.
+            priority = 0 if qos is None else qos.config.erase_priority
             if obs is not None:
                 wait = obs.begin("ocssd", "chip.wait", span)
                 started = self.sim.now
-                yield lock.request()
+                yield lock.request(priority)
                 obs.end(wait)
                 obs.metrics.histogram("ocssd.chip.wait_s").record(
                     self.sim.now - started)
             else:
-                yield lock.request()
+                yield lock.request(priority)
         try:
             if epoch != self._epoch:
                 return False

@@ -118,6 +118,9 @@ class OpenChannelSSD:
         # Observability (repro.obs): None unless Obs.attach() wired a hub;
         # submit() then opens one root span per command.
         self.obs = None
+        # QoS scheduler (repro.qos): None unless QosScheduler.attach()
+        # wired one; commands then carry tenant identity into it.
+        self.qos = None
         self.controller = Controller(
             self.sim, self.geometry, self.chips, self.chunks,
             notify=self._notify, write_back=write_back,
@@ -195,8 +198,16 @@ class OpenChannelSSD:
                 obs.error("ocssd", "invalid-command", str(exc))
         if obs is not None:
             obs.end(span, status=completion.status.name)
-            obs.metrics.histogram(f"ocssd.{kind}.latency_s").record(
-                self.sim.now - submitted)
+            latency = self.sim.now - submitted
+            obs.metrics.histogram(f"ocssd.{kind}.latency_s").record(latency)
+            tenant = getattr(command, "tenant", None)
+            if tenant is not None:
+                # Per-tenant end-to-end latency, recorded whether or not a
+                # scheduler is attached — the shared-FIFO baseline in the
+                # isolation bench reads its p99 from this histogram too.
+                obs.metrics.histogram(
+                    f"qos.tenant.{tenant.name}.{kind}.latency_s").record(
+                    latency)
         completion.submitted_at = submitted
         completion.completed_at = self.sim.now
         return completion
@@ -286,16 +297,19 @@ class OpenChannelSSD:
             oobs = (command.oob[offset:offset + count]
                     if command.oob is not None else None)
             chunk.admit_write(first_sector, payloads, oobs)
+        tenant = command.tenant
         if len(runs) == 1:
             # Single-run vectors dominate; drive the controller inline
             # instead of paying a process spawn + join for no parallelism.
             chunk, first_sector, count, __ = runs[0]
             results = [(yield from self.controller.write_run(
-                chunk, first_sector, count, fua=command.fua, span=span))]
+                chunk, first_sector, count, fua=command.fua, span=span,
+                tenant=tenant))]
         else:
             procs = [self.sim.spawn(
                          self.controller.write_run(chunk, first_sector, count,
-                                                   fua=command.fua, span=span),
+                                                   fua=command.fua, span=span,
+                                                   tenant=tenant),
                          name=f"write{chunk.address.chunk_key()}")
                      for chunk, first_sector, count, __ in runs]
             results = yield self.sim.all_of(procs)
@@ -313,7 +327,8 @@ class OpenChannelSSD:
         def one_run(chunk: Chunk, first_sector: int, count: int, offset: int):
             try:
                 payloads = yield from self.controller.read_run(
-                    chunk, first_sector, count, span=span)
+                    chunk, first_sector, count, span=span,
+                    tenant=command.tenant)
             except MediaError as exc:
                 failures.append(str(exc))
                 return
@@ -335,7 +350,8 @@ class OpenChannelSSD:
 
     def _do_reset(self, command: ChunkReset, span=None):
         chunk = self._chunk(command.ppa)
-        ok = yield from self.controller.reset_chunk(chunk, span=span)
+        ok = yield from self.controller.reset_chunk(chunk, span=span,
+                                                    tenant=command.tenant)
         if ok:
             return Completion(status=_OK)
         return Completion(status=_RESET_FAILED,
@@ -366,7 +382,8 @@ class OpenChannelSSD:
                         offset: int):
             try:
                 yield from self.controller.read_run(chunk, first_sector,
-                                                    count, span=span)
+                                                    count, span=span,
+                                                    tenant=command.tenant)
             except MediaError:
                 # Data already staged; a source read error during copy is
                 # surfaced through the notification log only.
@@ -376,7 +393,8 @@ class OpenChannelSSD:
                  for run in src_runs]
         procs += [self.sim.spawn(
                       self.controller.write_run(chunk, first_sector, count,
-                                                span=span),
+                                                span=span,
+                                                tenant=command.tenant),
                       name="copy-write")
                   for chunk, first_sector, count, __ in dst_runs]
         yield self.sim.all_of(procs)

@@ -76,6 +76,9 @@ class GarbageCollector:
         # Observability (repro.obs): inherited from the simulator; None
         # unless a hub was attached before the FTL stack was built.
         self.obs = media.sim.obs
+        # QoS (repro.qos): inherited the same way; when present, GC yields
+        # to backlogged foreground reads before starting each victim.
+        self.qos = media.sim.qos
         self.geometry = media.geometry
         self.page_map = page_map
         self.chunk_table = chunk_table
@@ -202,6 +205,10 @@ class GarbageCollector:
         Returns True when the victim was reclaimed (recycled or retired),
         False when collection was deferred or aborted.
         """
+        if self.qos is not None:
+            # Background work yields while foreground reads are queued
+            # (bounded, so GC always makes progress eventually).
+            yield from self.qos.background_gate_proc()
         key = victim.key
         base = Ppa(*key, 0)
         obs = self.obs

@@ -6,6 +6,12 @@ representation of the physical address space."  Here the one media type is
 the simulated Open-Channel SSD; the media manager exposes a narrow,
 FTL-facing API (vector I/O, reset, copy, flush, chunk scans, notification
 drain) plus both generator (in-simulation) and synchronous entry points.
+
+A media manager optionally carries a :class:`~repro.qos.TenantContext`
+(see :meth:`MediaManager.for_tenant`): every command it submits is tagged
+with that tenant, which is how an FTL instance owned by one tenant feeds
+tenant identity into the device's QoS scheduler and per-tenant metrics
+without any per-call plumbing in the FTL code.
 """
 
 from __future__ import annotations
@@ -26,11 +32,20 @@ from repro.ocssd.geometry import DeviceGeometry
 
 
 class MediaManager:
-    """FTL-facing facade over one Open-Channel SSD."""
+    """FTL-facing facade over one Open-Channel SSD.
 
-    def __init__(self, device: OpenChannelSSD):
+    *tenant* tags every command this manager submits; ``None`` leaves
+    commands untagged (infrastructure I/O, single-tenant stacks).
+    """
+
+    def __init__(self, device: OpenChannelSSD, tenant=None):
         self.device = device
         self.sim = device.sim
+        self.tenant = tenant
+
+    def for_tenant(self, tenant) -> "MediaManager":
+        """A view of the same device whose commands belong to *tenant*."""
+        return MediaManager(self.device, tenant=tenant)
 
     @property
     def geometry(self) -> DeviceGeometry:
@@ -46,19 +61,24 @@ class MediaManager:
                    oob: Optional[List[object]] = None, fua: bool = False,
                    parent=None):
         return self.device.submit(
-            VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua),
+            VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua,
+                        tenant=self.tenant),
             parent=parent)
 
     def read_proc(self, ppas: List[Ppa], parent=None):
-        return self.device.submit(VectorRead(ppas=ppas), parent=parent)
+        return self.device.submit(VectorRead(ppas=ppas, tenant=self.tenant),
+                                  parent=parent)
 
     def reset_proc(self, ppa: Ppa, parent=None):
-        return self.device.submit(ChunkReset(ppa=ppa), parent=parent)
+        return self.device.submit(ChunkReset(ppa=ppa, tenant=self.tenant),
+                                  parent=parent)
 
     def copy_proc(self, src: List[Ppa], dst: List[Ppa],
                   dst_oob: Optional[List[object]] = None, parent=None):
         return self.device.submit(
-            VectorCopy(src=src, dst=dst, dst_oob=dst_oob), parent=parent)
+            VectorCopy(src=src, dst=dst, dst_oob=dst_oob,
+                       tenant=self.tenant),
+            parent=parent)
 
     def flush_proc(self):
         return self.device.flush_proc()
@@ -68,17 +88,19 @@ class MediaManager:
     def write(self, ppas: List[Ppa], data: List[Optional[bytes]],
               oob: Optional[List[object]] = None,
               fua: bool = False) -> Completion:
-        return self.device.write(ppas, data, oob=oob, fua=fua)
+        return self.device.execute(VectorWrite(
+            ppas=ppas, data=data, oob=oob, fua=fua, tenant=self.tenant))
 
     def read(self, ppas: List[Ppa]) -> Completion:
-        return self.device.read(ppas)
+        return self.device.execute(VectorRead(ppas=ppas, tenant=self.tenant))
 
     def reset(self, ppa: Ppa) -> Completion:
-        return self.device.reset(ppa)
+        return self.device.execute(ChunkReset(ppa=ppa, tenant=self.tenant))
 
     def copy(self, src: List[Ppa], dst: List[Ppa],
              dst_oob: Optional[List[object]] = None) -> Completion:
-        return self.device.copy(src, dst, dst_oob=dst_oob)
+        return self.device.execute(VectorCopy(
+            src=src, dst=dst, dst_oob=dst_oob, tenant=self.tenant))
 
     def flush(self) -> None:
         self.device.flush()

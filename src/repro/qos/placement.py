@@ -1,0 +1,63 @@
+"""Tenant-to-parallel-unit placement: partitioned vs. shared striping.
+
+The paper's isolation mechanism is physical: give each tenant its own
+channels/LUNs and their traffic never meets inside the device.  The
+alternative — stripe every tenant across all units for peak bandwidth —
+is what a conventional SSD's FTL does implicitly, and is where
+noisy-neighbor tail latency comes from.  This module computes the
+tenant → parallel-unit assignment for either policy; the FTL layers
+consume it as a plain list of ``(group, pu)`` pairs (no device-layer
+imports here, so ``repro.qos`` stays below ``repro.ocssd``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.qos.tenant import TenantContext
+
+PuAddress = Tuple[int, int]
+
+#: Tenants get disjoint channel (group) sets; no shared buses or chips.
+PARTITIONED = "partitioned"
+#: Every tenant stripes over every parallel unit (conventional-SSD-like).
+SHARED = "shared"
+
+POLICIES = (PARTITIONED, SHARED)
+
+
+def plan_placement(num_groups: int, pus_per_group: int,
+                   tenants: Sequence[TenantContext],
+                   policy: str = PARTITIONED,
+                   ) -> Dict[TenantContext, List[PuAddress]]:
+    """Assign parallel units to *tenants* under *policy*.
+
+    ``partitioned`` deals whole groups (channels) round-robin, weight-
+    agnostic: isolation comes from disjoint hardware, not shares.  The
+    channel is the contended bus, so splitting at group granularity
+    removes both chip and bus interference.  Requires
+    ``len(tenants) <= num_groups``.
+
+    ``shared`` gives every tenant every unit; isolation (if any) is then
+    the scheduler's job.
+    """
+    if not tenants:
+        raise ValueError("plan_placement needs at least one tenant")
+    if len(set(tenants)) != len(tenants):
+        raise ValueError("duplicate tenant in placement request")
+    if policy == SHARED:
+        every = [(group, pu) for group in range(num_groups)
+                 for pu in range(pus_per_group)]
+        return {tenant: list(every) for tenant in tenants}
+    if policy != PARTITIONED:
+        raise ValueError(f"unknown placement policy {policy!r}; "
+                         f"expected one of {POLICIES}")
+    if len(tenants) > num_groups:
+        raise ValueError(
+            f"partitioned placement needs >= 1 group per tenant: "
+            f"{len(tenants)} tenants > {num_groups} groups")
+    plan: Dict[TenantContext, List[PuAddress]] = {t: [] for t in tenants}
+    for group in range(num_groups):
+        tenant = tenants[group % len(tenants)]
+        plan[tenant].extend((group, pu) for pu in range(pus_per_group))
+    return plan

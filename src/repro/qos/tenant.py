@@ -1,0 +1,94 @@
+"""Tenant identity: who an I/O belongs to.
+
+The paper's isolation argument (§3, Figure 4) is that host-controlled
+placement and scheduling make cross-tenant interference a *policy*
+decision instead of a device accident.  That requires every command to
+carry its originator: a :class:`TenantContext` is threaded from the
+workload/LSM/LLAMA host through the FTLs into the device controller,
+where the QoS scheduler and the per-tenant metrics read it.
+
+A ``TenantContext`` is immutable and hashable so it can tag commands,
+key scheduler queues and name metrics without lifecycle concerns.  This
+module is dependency-free on purpose: the command layer imports it (for
+typing only) and the scheduler imports it, so it must sit below both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TenantContext:
+    """One tenant's identity and QoS parameters.
+
+    * ``weight`` sets the tenant's deficit-round-robin share of contended
+      channels (relative to the other tenants' weights);
+    * ``rate_bytes_per_sec``/``burst_bytes`` configure an optional
+      token-bucket throttle applied before the tenant's commands reach
+      the scheduler (``None`` = unthrottled).
+    """
+
+    tenant_id: int
+    name: str
+    weight: float = 1.0
+    rate_bytes_per_sec: Optional[float] = None
+    burst_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: weight must be > 0, "
+                f"got {self.weight}")
+        if (self.rate_bytes_per_sec is not None
+                and self.rate_bytes_per_sec <= 0):
+            raise ValueError(
+                f"tenant {self.name!r}: rate must be positive or None, "
+                f"got {self.rate_bytes_per_sec}")
+
+
+#: The implicit owner of untagged I/O (FTL metadata, WAL, checkpoints,
+#: recovery scans).  It participates in scheduling with weight 1 and no
+#: throttle, so infrastructure traffic is never starved by tenant policy.
+SYSTEM_TENANT = TenantContext(tenant_id=0, name="system")
+
+
+class TenantRegistry:
+    """Assigns tenant ids and keeps the tenant set of one run.
+
+    Registration order is the scheduler's round-robin order, so runs are
+    deterministic for a fixed registration sequence.
+    """
+
+    def __init__(self):
+        self._by_name: Dict[str, TenantContext] = {}
+        self._next_id = 1   # 0 is SYSTEM_TENANT
+
+    def register(self, name: str, weight: float = 1.0,
+                 rate_bytes_per_sec: Optional[float] = None,
+                 burst_bytes: Optional[float] = None) -> TenantContext:
+        if name in self._by_name or name == SYSTEM_TENANT.name:
+            raise ValueError(f"tenant {name!r} is already registered")
+        tenant = TenantContext(
+            tenant_id=self._next_id, name=name, weight=weight,
+            rate_bytes_per_sec=rate_bytes_per_sec, burst_bytes=burst_bytes)
+        self._next_id += 1
+        self._by_name[name] = tenant
+        return tenant
+
+    def lookup(self, name: str) -> TenantContext:
+        if name == SYSTEM_TENANT.name:
+            return SYSTEM_TENANT
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[TenantContext]:
+        return iter(self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name or name == SYSTEM_TENANT.name

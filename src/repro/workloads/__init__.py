@@ -2,12 +2,20 @@
 
 from repro.workloads.generators import (
     KeyValueGenerator,
+    RandomReadWorkload,
     RandomWriteWorkload,
+    ReadOp,
+    WriteOp,
     ZipfianKeyChooser,
+    derive_stream_seed,
 )
 
 __all__ = [
     "KeyValueGenerator",
+    "RandomReadWorkload",
     "RandomWriteWorkload",
+    "ReadOp",
+    "WriteOp",
     "ZipfianKeyChooser",
+    "derive_stream_seed",
 ]
