@@ -11,10 +11,9 @@
 import pytest
 
 from repro.benchhelpers import format_kops, lightlsm_db, report
-from repro.lsm import DB, DBConfig, DbBench, HorizontalPlacement, LightLSMEnv
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD, Ppa
-from repro.ox import BlockConfig, MediaManager, OXBlock
+from repro.lsm import DBConfig, DbBench, HorizontalPlacement
+from repro.ox import OXBlock
+from repro.stack import StackSpec, build_stack
 from repro.units import KIB, MIB, fmt_time
 from repro.workloads import RandomWriteWorkload
 
@@ -23,15 +22,12 @@ from repro.workloads import RandomWriteWorkload
 
 
 def fill_throughput(write_back: bool) -> float:
-    geometry = DeviceGeometry(
-        num_groups=8, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=120, pages_per_block=6))
-    device = OpenChannelSSD(geometry=geometry, write_back=write_back)
-    media = MediaManager(device)
-    env = LightLSMEnv(media, HorizontalPlacement())
-    db = DB(env, DBConfig(block_size=96 * KIB,
-                          write_buffer_bytes=4 * MIB), device.sim)
-    bench = DbBench(db)
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": 8, "pus_per_group": 4,
+                  "chunks_per_pu": 120, "pages_per_block": 6},
+        ftl="lightlsm", write_back=write_back,
+        db={"block_size": 96 * KIB, "write_buffer_bytes": 4 * MIB}))
+    bench = stack.dbbench()
     result = bench.fill_sequential(clients=2, ops_per_client=12_000)
     return result.ops_per_sec
 
@@ -58,15 +54,14 @@ def test_ablation_write_back_cache(benchmark):
 
 
 def point_read_latency(block_units: int) -> float:
-    geometry = DeviceGeometry(
-        num_groups=8, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=120,
-                            pages_per_block=6 * block_units))
-    device = OpenChannelSSD(geometry=geometry)
-    env = LightLSMEnv(MediaManager(device), HorizontalPlacement())
-    db = DB(env, DBConfig(block_size=block_units * 96 * KIB,
-                          write_buffer_bytes=2 * MIB), device.sim)
-    bench = DbBench(db)
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": 8, "pus_per_group": 4,
+                  "chunks_per_pu": 120,
+                  "pages_per_block": 6 * block_units},
+        ftl="lightlsm",
+        db={"block_size": block_units * 96 * KIB,
+            "write_buffer_bytes": 2 * MIB}))
+    bench = stack.dbbench()
     bench.fill_sequential(clients=1, ops_per_client=8_000)
     bench.quiesce()
     result = bench.read_random(clients=1, ops_per_client=300)
@@ -124,15 +119,16 @@ def test_ablation_readahead(benchmark):
 
 
 def checkpoint_tradeoff(interval):
-    geometry = DeviceGeometry(
-        num_groups=4, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=96, pages_per_block=24))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    config = BlockConfig(checkpoint_interval=interval,
-                         wal_chunk_count=120, wal_pressure_threshold=0.95,
-                         replay_cpu_per_record=2e-5)
-    ftl = OXBlock.format(media, config)
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": 4, "pus_per_group": 4,
+                  "chunks_per_pu": 96, "pages_per_block": 24},
+        ftl="oxblock",
+        ftl_config={"checkpoint_interval": interval,
+                    "wal_chunk_count": 120,
+                    "wal_pressure_threshold": 0.95,
+                    "replay_cpu_per_record": 2e-5}))
+    device, media, ftl = stack.device, stack.media, stack.ftl
+    geometry = device.geometry
     workload = RandomWriteWorkload(
         lba_space=geometry.capacity_bytes // geometry.sector_size // 4,
         max_bytes=512 * KIB, seed=5)
@@ -150,7 +146,7 @@ def checkpoint_tradeoff(interval):
 
     sim.run_until(sim.spawn(writer()))
     ftl.crash()
-    __, recovery = OXBlock.recover(media, config)
+    __, recovery = OXBlock.recover(media, ftl.config)
     return ops / 1.5, recovery.duration
 
 

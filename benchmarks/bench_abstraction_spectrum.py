@@ -22,42 +22,33 @@ amplification highest for the block device.
 import pytest
 
 from repro.benchhelpers import format_kops, report
-from repro.lsm import DB, DBConfig, DbBench, HorizontalPlacement, LightLSMEnv
-from repro.lsm.blockenv import BlockDevEnv
-from repro.lsm.znsenv import ZnsEnv
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import BlockConfig, MediaManager, OXBlock
-from repro.zns import OXZns, ZnsConfig
+from repro.stack import StackSpec, build_stack
 from repro.units import KIB, MIB
 
 FILL_OPS = 12_000
 CLIENTS = 2
 
-
-def device():
-    geometry = DeviceGeometry(
-        num_groups=8, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=160, pages_per_block=6))
-    return OpenChannelSSD(geometry=geometry)
+# One LSM engine, three FTL abstractions — only the `ftl` stanza moves.
+SPECTRUM = {
+    "block-device": dict(
+        ftl="oxblock", host="db", table_chunks=32,
+        ftl_config={"wal_chunk_count": 16, "gc_low_watermark": 16,
+                    "gc_high_watermark": 48}),
+    "zns": dict(
+        ftl="zns",
+        ftl_config={"chunks_per_zone": 4, "max_open_zones": 32}),
+    "app-specific": dict(ftl="lightlsm"),
+}
 
 
 def run_env(kind: str):
-    dev = device()
-    media = MediaManager(dev)
-    if kind == "block-device":
-        ftl = OXBlock.format(media, BlockConfig(
-            wal_chunk_count=16, gc_low_watermark=16, gc_high_watermark=48))
-        env = BlockDevEnv(ftl, table_sectors=32
-                          * dev.report_geometry().sectors_per_chunk)
-    elif kind == "zns":
-        zns = OXZns(media, ZnsConfig(chunks_per_zone=4, max_open_zones=32))
-        env = ZnsEnv(zns)
-    else:
-        env = LightLSMEnv(media, HorizontalPlacement())
-    config = DBConfig(block_size=96 * KIB, write_buffer_bytes=4 * MIB)
-    db = DB(env, config, dev.sim)
-    bench = DbBench(db)
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": 8, "pus_per_group": 4,
+                  "chunks_per_pu": 160, "pages_per_block": 6},
+        db={"block_size": 96 * KIB, "write_buffer_bytes": 4 * MIB},
+        **SPECTRUM[kind]))
+    dev = stack.device
+    bench = stack.dbbench()
 
     user_bytes_before = dev.controller.stats.sectors_written
     fill = bench.fill_sequential(clients=CLIENTS, ops_per_client=FILL_OPS)

@@ -17,9 +17,8 @@ differ much.
 import pytest
 
 from repro.benchhelpers import report
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import BlockConfig, MediaManager, OXBlock
+from repro.ox import OXBlock
+from repro.stack import StackSpec, build_stack
 from repro.units import MIB, fmt_time
 from repro.workloads import RandomWriteWorkload
 
@@ -29,21 +28,21 @@ INTERVALS = {"disabled": None, "Ci 0.25s": 0.25, "Ci 0.75s": 0.75}
 
 
 def run_one(checkpoint_interval, fail_at: float) -> float:
-    geometry = DeviceGeometry(
-        num_groups=4, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=144, pages_per_block=24))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    config = BlockConfig(checkpoint_interval=checkpoint_interval,
-                         wal_chunk_count=140,
-                         ckpt_chunks_per_slot=2,
-                         wal_pressure_threshold=0.95,
-                         replay_cpu_per_record=2e-5)
-    ftl = OXBlock.format(media, config)
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": 4, "pus_per_group": 4,
+                  "chunks_per_pu": 144, "pages_per_block": 24},
+        ftl="oxblock",
+        ftl_config={"checkpoint_interval": checkpoint_interval,
+                    "wal_chunk_count": 140,
+                    "ckpt_chunks_per_slot": 2,
+                    "wal_pressure_threshold": 0.95,
+                    "replay_cpu_per_record": 2e-5}))
+    media, ftl = stack.media, stack.ftl
+    geometry = stack.device.geometry
     workload = RandomWriteWorkload(
         lba_space=geometry.capacity_bytes // geometry.sector_size // 4,
         max_bytes=1 * MIB, seed=23)
-    sim = device.sim
+    sim = stack.sim
 
     def writer():
         for op in workload.operations():
@@ -54,7 +53,7 @@ def run_one(checkpoint_interval, fail_at: float) -> float:
 
     sim.run_until(sim.spawn(writer()))
     ftl.crash()
-    __, recovery = OXBlock.recover(media, config)
+    __, recovery = OXBlock.recover(media, ftl.config)
     return recovery.duration
 
 

@@ -14,9 +14,7 @@ import pytest
 
 from repro.benchhelpers import report
 from repro.host import DfcPlatform, HostWriteExperiment
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import EleosConfig, MediaManager, OXEleos
+from repro.stack import StackSpec, build_stack
 from repro.units import MIB
 
 HOST_THREADS = (1, 2, 3, 4, 6, 8)
@@ -24,15 +22,14 @@ BUFFERS_PER_THREAD = 4
 
 
 def run_point(host_threads: int):
-    geometry = DeviceGeometry(
-        num_groups=8, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=64, pages_per_block=24))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    ftl = OXEleos.format(media, EleosConfig(buffer_bytes=8 * MIB,
-                                            wal_chunk_count=48))
-    platform = DfcPlatform(device.sim)
-    experiment = HostWriteExperiment(ftl, platform, buffer_bytes=8 * MIB,
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": 8, "pus_per_group": 4,
+                  "chunks_per_pu": 64, "pages_per_block": 24},
+        ftl="eleos", host="none",
+        ftl_config={"buffer_bytes": 8 * MIB, "wal_chunk_count": 48}))
+    platform = DfcPlatform(stack.sim)
+    experiment = HostWriteExperiment(stack.ftl, platform,
+                                     buffer_bytes=8 * MIB,
                                      page_bytes=64 * 1024)
     return experiment.run(host_threads,
                           buffers_per_thread=BUFFERS_PER_THREAD)

@@ -16,22 +16,18 @@ The analytic value is (N-1)/N for N groups.
 import pytest
 
 from repro.benchhelpers import report
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import BlockConfig, MediaManager, OXBlock
 from repro.sim.stats import LatencyRecorder
+from repro.stack import StackSpec, build_stack
 
 
 def build(groups: int):
-    geometry = DeviceGeometry(
-        num_groups=groups, pus_per_group=2,
-        flash=FlashGeometry(blocks_per_plane=10, pages_per_block=6))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    config = BlockConfig(gc_enabled=False, wal_chunk_count=2,
-                         ckpt_chunks_per_slot=1)
-    ftl = OXBlock.format(media, config)
-    return device, ftl
+    stack = build_stack(StackSpec(
+        geometry={"num_groups": groups, "pus_per_group": 2,
+                  "chunks_per_pu": 10, "pages_per_block": 6},
+        ftl="oxblock",
+        ftl_config={"gc_enabled": False, "wal_chunk_count": 2,
+                    "ckpt_chunks_per_slot": 1}))
+    return stack.device, stack.ftl
 
 
 def measure(groups: int):

@@ -36,12 +36,10 @@ import sys
 from typing import Dict, List, Tuple
 
 from repro.benchhelpers import report
-from repro.nand import FlashGeometry
-from repro.obs import Obs
-from repro.ocssd import (ChunkReset, DeviceGeometry, OpenChannelSSD, Ppa,
-                         VectorRead, VectorWrite)
-from repro.qos import (PARTITIONED, SHARED, QosScheduler, TenantContext,
-                       plan_placement)
+from repro.ocssd import ChunkReset, OpenChannelSSD, Ppa, VectorRead, \
+    VectorWrite
+from repro.qos import TenantContext
+from repro.stack import StackSpec, build_stack
 from repro.workloads import derive_stream_seed
 
 SECTOR = 4096
@@ -53,22 +51,23 @@ FULL = dict(name="bench_isolation", groups=4, pus=2, chunks=8, pages=6,
             victim_reads=400, warmup_s=2e-3, seed=11)
 SMOKE = dict(FULL, name="bench_isolation_smoke", victim_reads=120)
 
-VICTIM = TenantContext(tenant_id=1, name="victim", weight=3.0)
-AGGRESSOR = TenantContext(tenant_id=2, name="aggressor", weight=1.0)
 
-
-def build_device(cfg: dict) -> Tuple[OpenChannelSSD, Obs]:
-    geometry = DeviceGeometry(
-        num_groups=cfg["groups"], pus_per_group=cfg["pus"],
-        flash=FlashGeometry(blocks_per_plane=cfg["chunks"],
-                            pages_per_block=cfg["pages"]))
-    device = OpenChannelSSD(geometry=geometry)
-    obs = Obs().attach(device)
-    return device, obs
+def build_scenario(cfg: dict, policy: str, with_scheduler: bool):
+    """A raw-device stack with obs + two tenants, scheduler optional."""
+    return build_stack(StackSpec(
+        name=cfg["name"],
+        geometry={"num_groups": cfg["groups"], "pus_per_group": cfg["pus"],
+                  "chunks_per_pu": cfg["chunks"],
+                  "pages_per_block": cfg["pages"]},
+        ftl="none", obs=True,
+        tenants=[{"name": "victim", "weight": 3.0},
+                 {"name": "aggressor", "weight": 1.0}],
+        qos_policy=policy, qos_scheduler=with_scheduler))
 
 
 def fill_victim_chunks(device: OpenChannelSSD,
-                       pus: List[Tuple[int, int]]) -> None:
+                       pus: List[Tuple[int, int]],
+                       tenant: TenantContext) -> None:
     """Write chunk 0 of every victim PU full (tenant-tagged), then flush
     so the measured reads hit NAND rather than the write-back cache."""
     g = device.geometry
@@ -79,12 +78,12 @@ def fill_victim_chunks(device: OpenChannelSSD,
             ppas = [Ppa(group=group, pu=pu, chunk=0, sector=start + i)
                     for i in range(unit)]
             device.execute(VectorWrite(ppas=ppas, data=list(payload),
-                                       tenant=VICTIM))
+                                       tenant=tenant))
     device.flush()
 
 
 def victim_proc(device: OpenChannelSSD, pus: List[Tuple[int, int]],
-                reads: int, seed: int):
+                reads: int, seed: int, tenant: TenantContext):
     """Closed-loop single-sector random reads over the filled chunks."""
     g = device.geometry
     rng = random.Random(derive_stream_seed(seed, "victim"))
@@ -92,10 +91,11 @@ def victim_proc(device: OpenChannelSSD, pus: List[Tuple[int, int]],
         group, pu = pus[rng.randrange(len(pus))]
         sector = rng.randrange(g.sectors_per_chunk)
         ppa = Ppa(group=group, pu=pu, chunk=0, sector=sector)
-        yield from device.submit(VectorRead(ppas=[ppa], tenant=VICTIM))
+        yield from device.submit(VectorRead(ppas=[ppa], tenant=tenant))
 
 
-def aggressor_proc(device: OpenChannelSSD, group: int, pu: int):
+def aggressor_proc(device: OpenChannelSSD, group: int, pu: int,
+                   tenant: TenantContext):
     """Endless write/erase churn on chunks 1.. of one PU.
 
     Fills each chunk through the write-back cache (channel-transfer
@@ -110,41 +110,37 @@ def aggressor_proc(device: OpenChannelSSD, group: int, pu: int):
                 ppas = [Ppa(group=group, pu=pu, chunk=chunk,
                             sector=start + i) for i in range(unit)]
                 yield from device.submit(VectorWrite(
-                    ppas=ppas, data=list(payload), tenant=AGGRESSOR))
+                    ppas=ppas, data=list(payload), tenant=tenant))
         for chunk in range(1, g.chunks_per_pu):
             probe = Ppa(group=group, pu=pu, chunk=chunk, sector=0)
             while (device.chunk_info(probe).flushed_pointer
                    < g.sectors_per_chunk):
                 yield device.sim.timeout(200e-6)
-            yield from device.submit(ChunkReset(ppa=probe,
-                                                tenant=AGGRESSOR))
+            yield from device.submit(ChunkReset(ppa=probe, tenant=tenant))
 
 
 def run_scenario(cfg: dict, policy: str, with_scheduler: bool,
                  with_aggressor: bool) -> Dict[str, float]:
     """One fresh device + obs stack; returns victim read stats."""
-    device, obs = build_device(cfg)
-    sim = device.sim
-    if with_scheduler:
-        scheduler = QosScheduler(sim)
-        scheduler.attach(device)
-        scheduler.register_tenant(VICTIM)
-        scheduler.register_tenant(AGGRESSOR)
-    plan = plan_placement(cfg["groups"], cfg["pus"], [VICTIM, AGGRESSOR],
-                          policy=policy)
-    victim_pus = plan[VICTIM]
-    fill_victim_chunks(device, victim_pus)
+    stack = build_scenario(cfg, policy, with_scheduler)
+    device, sim = stack.device, stack.sim
+    victim = stack.tenant("victim")
+    aggressor = stack.tenant("aggressor")
+    victim_pus = stack.placement_plan[victim]
+    fill_victim_chunks(device, victim_pus, victim)
 
     if with_aggressor:
-        for group, pu in plan[AGGRESSOR]:
-            sim.spawn(aggressor_proc(device, group, pu))
+        for group, pu in stack.placement_plan[aggressor]:
+            sim.spawn(aggressor_proc(device, group, pu, aggressor))
         sim.run_until(sim.timeout(cfg["warmup_s"]))
 
-    victim = sim.spawn(victim_proc(device, victim_pus,
-                                   cfg["victim_reads"], cfg["seed"]))
-    sim.run_until(victim)
+    victim_done = sim.spawn(victim_proc(device, victim_pus,
+                                        cfg["victim_reads"], cfg["seed"],
+                                        victim))
+    sim.run_until(victim_done)
 
-    latency = obs.metrics.histogram("qos.tenant.victim.read.latency_s")
+    latency = stack.obs.metrics.histogram(
+        "qos.tenant.victim.read.latency_s")
     stats = latency.summary()
     return {"reads": stats["count"], "mean_s": stats["mean"],
             "p50_s": stats["p50"], "p99_s": stats["p99"],
@@ -153,13 +149,13 @@ def run_scenario(cfg: dict, policy: str, with_scheduler: bool,
 
 def run_all(cfg: dict) -> Dict[str, Dict[str, float]]:
     return {
-        "solo": run_scenario(cfg, SHARED, with_scheduler=False,
+        "solo": run_scenario(cfg, "shared", with_scheduler=False,
                              with_aggressor=False),
-        "shared_fifo": run_scenario(cfg, SHARED, with_scheduler=False,
+        "shared_fifo": run_scenario(cfg, "shared", with_scheduler=False,
                                     with_aggressor=True),
-        "shared_drr": run_scenario(cfg, SHARED, with_scheduler=True,
+        "shared_drr": run_scenario(cfg, "shared", with_scheduler=True,
                                    with_aggressor=True),
-        "partitioned_drr": run_scenario(cfg, PARTITIONED,
+        "partitioned_drr": run_scenario(cfg, "partitioned",
                                         with_scheduler=True,
                                         with_aggressor=True),
     }

@@ -46,10 +46,9 @@ from repro.benchhelpers import (
     load_trajectory,
     report,
 )
-from repro.nand import FlashGeometry
 from repro.obs.metrics import MetricsRegistry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import BlockConfig, MediaManager, OXBlock
+from repro.ocssd import OpenChannelSSD
+from repro.stack import StackSpec, build_stack
 
 SECTOR = 4096
 REGRESSION_THRESHOLD = 0.30
@@ -66,17 +65,22 @@ SMOKE = dict(name="perf_smoke", groups=2, pus=2, chunks=16, pages=6,
              wal_chunks=4, ckpt_chunks=2, fill_ops=40, read_ops=300)
 
 
+def stack_spec(cfg: dict, **overrides) -> StackSpec:
+    """The perf-trajectory stack as a spec (shared with the guards)."""
+    return StackSpec(
+        name=cfg["name"],
+        geometry={"num_groups": cfg["groups"], "pus_per_group": cfg["pus"],
+                  "chunks_per_pu": cfg["chunks"],
+                  "pages_per_block": cfg["pages"]},
+        ftl="oxblock",
+        ftl_config={"wal_chunk_count": cfg["wal_chunks"],
+                    "ckpt_chunks_per_slot": cfg["ckpt_chunks"]},
+        **overrides)
+
+
 def build_ftl(cfg: dict):
-    geometry = DeviceGeometry(
-        num_groups=cfg["groups"], pus_per_group=cfg["pus"],
-        flash=FlashGeometry(blocks_per_plane=cfg["chunks"],
-                            pages_per_block=cfg["pages"]))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    ftl = OXBlock.format(media, BlockConfig(
-        wal_chunk_count=cfg["wal_chunks"],
-        ckpt_chunks_per_slot=cfg["ckpt_chunks"]))
-    return device, ftl
+    stack = build_stack(stack_spec(cfg))
+    return stack.device, stack.ftl
 
 
 def chunk_memory_bytes(device: OpenChannelSSD) -> int:

@@ -10,34 +10,34 @@ few seconds, it stays bounded.
 Run:  python examples/crash_recovery.py
 """
 
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import BlockConfig, MediaManager, OXBlock
-from repro.units import KIB, MIB, fmt_time
+from repro.ox import OXBlock
+from repro.stack import StackSpec, build_stack
+from repro.units import MIB, fmt_time
 from repro.workloads import RandomWriteWorkload
 
 
 def run_experiment(checkpoint_interval, fail_at: float) -> float:
     """Write until *fail_at* simulated seconds, crash, return recovery
     time."""
-    geometry = DeviceGeometry(
-        num_groups=4, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=96, pages_per_block=24))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
     # The WAL ring is sized for the whole run so the no-checkpoint
     # configuration is genuinely checkpoint-free; replay cost per mapping
     # entry models metadata reconstruction on the controller CPU.
-    config = BlockConfig(checkpoint_interval=checkpoint_interval,
-                         wal_chunk_count=160,
-                         wal_pressure_threshold=0.95,
-                         replay_cpu_per_record=2e-5)
-    ftl = OXBlock.format(media, config)
+    stack = build_stack(StackSpec(
+        name="crash-recovery",
+        geometry={"num_groups": 4, "pus_per_group": 4,
+                  "chunks_per_pu": 96, "pages_per_block": 24},
+        ftl="oxblock",
+        ftl_config={"checkpoint_interval": checkpoint_interval,
+                    "wal_chunk_count": 160,
+                    "wal_pressure_threshold": 0.95,
+                    "replay_cpu_per_record": 2e-5}))
+    media, ftl = stack.media, stack.ftl
+    geometry = stack.device.geometry
 
     workload = RandomWriteWorkload(
         lba_space=geometry.capacity_bytes // geometry.sector_size // 4,
         max_bytes=1 * MIB, seed=11)
-    sim = device.sim
+    sim = stack.sim
 
     def writer():
         for op in workload.operations():
@@ -49,7 +49,7 @@ def run_experiment(checkpoint_interval, fail_at: float) -> float:
     process = sim.spawn(writer())
     sim.run_until(process)
     ftl.crash()
-    __, report = OXBlock.recover(media, config)
+    __, report = OXBlock.recover(media, ftl.config)
     return report.duration
 
 

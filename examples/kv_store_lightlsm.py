@@ -9,28 +9,20 @@ erasing, and recovery needs no MANIFEST — the media is self-describing.
 Run:  python examples/kv_store_lightlsm.py
 """
 
-from repro.lsm import (
-    DB,
-    DBConfig,
-    HorizontalPlacement,
-    LightLSMEnv,
-    VerticalPlacement,
-)
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
+from repro.lsm import DB, DBConfig, LightLSMEnv
 from repro.ox import MediaManager
+from repro.stack import StackSpec, build_stack
 from repro.units import KIB, MIB, fmt_bytes
 
 
-def build(placement):
-    geometry = DeviceGeometry(
-        num_groups=8, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=80, pages_per_block=6))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    env = LightLSMEnv(media, placement)
-    config = DBConfig(block_size=96 * KIB, write_buffer_bytes=1 * MIB)
-    return device, env, DB(env, config, device.sim)
+def build(placement: str):
+    stack = build_stack(StackSpec(
+        name="kv-store",
+        geometry={"num_groups": 8, "pus_per_group": 4,
+                  "chunks_per_pu": 80, "pages_per_block": 6},
+        ftl="lightlsm", placement=placement,
+        db={"block_size": 96 * KIB, "write_buffer_bytes": 1 * MIB}))
+    return stack.device, stack.env, stack.db
 
 
 def key(i: int) -> bytes:
@@ -38,9 +30,9 @@ def key(i: int) -> bytes:
 
 
 def main() -> None:
-    for placement in (HorizontalPlacement(), VerticalPlacement()):
+    for placement in ("horizontal", "vertical"):
         device, env, db = build(placement)
-        print(f"\n=== {placement.name} placement ===")
+        print(f"\n=== {placement} placement ===")
         print(f"SSTable = {env.chunks_per_sstable} chunks "
               f"(+1 meta) = {fmt_bytes(env.max_table_bytes)} of data; "
               f"block size must be a multiple of "
@@ -70,7 +62,7 @@ def main() -> None:
         # MANIFEST-less recovery: rebuild a fresh env + DB from the media.
         db.close()
         media2 = MediaManager(device)
-        env2 = LightLSMEnv(media2, placement)
+        env2 = LightLSMEnv(media2, env.placement)
         db2 = DB.open(env2, DBConfig(block_size=96 * KIB,
                                      write_buffer_bytes=1 * MIB),
                       device.sim)

@@ -16,18 +16,20 @@ from repro.contract import (
     characterize_device,
 )
 from repro.landscape import render_figure1
-from repro.nand import CellType, FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
+from repro.nand import CellType
+from repro.ocssd import OpenChannelSSD
+from repro.stack import StackSpec, build_stack
 from repro.units import MS, US
 
 
 def build_device(cell: CellType) -> OpenChannelSSD:
     pages = 24 if cell is CellType.TLC else 16   # paired-page alignment
-    geometry = DeviceGeometry(
-        num_groups=2, pus_per_group=2,
-        flash=FlashGeometry(cell=cell, blocks_per_plane=8,
-                            pages_per_block=pages))
-    return OpenChannelSSD(geometry=geometry)
+    return build_stack(StackSpec(
+        name="landscape",
+        geometry={"num_groups": 2, "pus_per_group": 2,
+                  "cell": cell.name.lower(), "chunks_per_pu": 8,
+                  "pages_per_block": pages},
+        ftl="none")).device
 
 
 def main() -> None:

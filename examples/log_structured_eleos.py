@@ -10,24 +10,22 @@ whole segments (chunk erases).
 Run:  python examples/log_structured_eleos.py
 """
 
-from repro.llama import LlamaConfig, LlamaEngine
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import EleosConfig, MediaManager, OXEleos
+from repro.llama import LlamaEngine
+from repro.ox import OXEleos
+from repro.stack import StackSpec, build_stack
 from repro.units import MIB, fmt_bytes
 
 
 def main() -> None:
-    geometry = DeviceGeometry(
-        num_groups=4, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=48, pages_per_block=24))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    ftl = OXEleos.format(media, EleosConfig(buffer_bytes=2 * MIB,
-                                            wal_chunk_count=8))
-    engine = LlamaEngine(ftl, LlamaConfig(consolidate_after=4,
-                                          clean_live_ratio=0.8))
-    print(f"OX-ELEOS over {geometry.describe()}")
+    stack = build_stack(StackSpec(
+        name="log-structured",
+        geometry={"num_groups": 4, "pus_per_group": 4,
+                  "chunks_per_pu": 48, "pages_per_block": 24},
+        ftl="eleos",
+        ftl_config={"buffer_bytes": 2 * MIB, "wal_chunk_count": 8},
+        llama={"consolidate_after": 4, "clean_live_ratio": 0.8}))
+    media, ftl, engine = stack.media, stack.ftl, stack.engine
+    print(f"OX-ELEOS over {stack.device.geometry.describe()}")
     print(f"LSS buffer: {fmt_bytes(ftl.config.buffer_bytes)}")
 
     # Variable-sized pages: a record store with per-record pages.
@@ -58,8 +56,7 @@ def main() -> None:
     # Crash: OX-ELEOS guarantees buffer-level atomicity.
     media.flush()
     ftl.crash()
-    recovered, report = OXEleos.recover(media, EleosConfig(
-        buffer_bytes=2 * MIB, wal_chunk_count=8))
+    recovered, report = OXEleos.recover(media, ftl.config)
     print(f"\nrecovered after crash: {report.txns_applied} buffers "
           f"replayed, {len(recovered.live_page_ids())} pages live")
     engine2 = LlamaEngine(recovered)

@@ -8,25 +8,24 @@ API, kills the FTL (``kill -9`` style) and recovers.
 Run:  python examples/quickstart.py
 """
 
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import BlockConfig, MediaManager, OXBlock
-from repro.units import KIB, MIB, fmt_bytes, fmt_time
+from repro.ox import OXBlock
+from repro.stack import StackSpec, build_stack
+from repro.units import fmt_bytes, fmt_time
 
 
 def main() -> None:
-    # A small dual-plane TLC drive: 4 groups x 4 PUs, 96 KB write unit.
-    geometry = DeviceGeometry(
-        num_groups=4, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=32, pages_per_block=24))
-    device = OpenChannelSSD(geometry=geometry)
+    # A small dual-plane TLC drive: 4 groups x 4 PUs, 96 KB write unit —
+    # one spec declares the whole stack, build_stack wires it.
+    stack = build_stack(StackSpec(
+        name="quickstart",
+        geometry={"num_groups": 4, "pus_per_group": 4,
+                  "chunks_per_pu": 32, "pages_per_block": 24},
+        ftl="oxblock", ftl_config={"checkpoint_interval": 5.0}))
+    device, media, ftl = stack.device, stack.media, stack.ftl
+    geometry = device.geometry
     print(f"device: {geometry.describe()}")
     print(f"capacity: {fmt_bytes(geometry.capacity_bytes)}, "
           f"write unit: {fmt_bytes(geometry.ws_min * geometry.sector_size)}")
-
-    media = MediaManager(device)
-    config = BlockConfig(checkpoint_interval=5.0)
-    ftl = OXBlock.format(media, config)
     print("\nOX-Block formatted (checkpoint every 5 s of simulated time)")
 
     # The block-device API: 4 KB sectors, transactional writes up to 1 MB.
@@ -42,7 +41,7 @@ def main() -> None:
     print("\nflushed; simulating `kill -9` of the OX process...")
     ftl.crash()
 
-    recovered, report = OXBlock.recover(media, config)
+    recovered, report = OXBlock.recover(media, ftl.config)
     print(f"recovered in {fmt_time(report.duration)} "
           f"(checkpoint #{report.checkpoint_seq}, "
           f"{report.txns_applied} txns replayed, "

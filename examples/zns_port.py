@@ -10,11 +10,9 @@ append log (the classic LSM/archival pattern) on zones.
 Run:  python examples/zns_port.py
 """
 
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import MediaManager
+from repro.stack import StackSpec, build_stack
 from repro.units import fmt_bytes
-from repro.zns import OXZns, ZnsConfig, ZoneState
+from repro.zns import OXZns, ZoneState
 
 
 class SegmentedLog:
@@ -45,11 +43,12 @@ class SegmentedLog:
 
 
 def main() -> None:
-    geometry = DeviceGeometry(
-        num_groups=4, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=16, pages_per_block=12))
-    device = OpenChannelSSD(geometry=geometry)
-    zns = OXZns(MediaManager(device), ZnsConfig(chunks_per_zone=4))
+    stack = build_stack(StackSpec(
+        name="zns-port",
+        geometry={"num_groups": 4, "pus_per_group": 4,
+                  "chunks_per_pu": 16, "pages_per_block": 12},
+        ftl="zns", host="none", ftl_config={"chunks_per_zone": 4}))
+    zns, geometry = stack.ftl, stack.device.geometry
     print(f"ZNS namespace: {zns.num_zones} zones of "
           f"{fmt_bytes(zns.zone_capacity * geometry.sector_size)} "
           f"over {geometry.describe()}")

@@ -21,6 +21,9 @@ python scripts/obs_guard.py
 echo "== qos guard (no-qos fast path + isolation smoke) =="
 python scripts/qos_guard.py
 
+echo "== stack guard (no inline wiring + spec smoke) =="
+python scripts/stack_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

@@ -30,8 +30,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
-from bench_perf_trajectory import SMOKE, run_macro   # noqa: E402
-from repro.nand import FlashGeometry                  # noqa: E402
+from bench_perf_trajectory import SMOKE, run_macro, stack_spec   # noqa: E402
 from repro.obs import (                               # noqa: E402
     Obs,
     attribute,
@@ -40,8 +39,7 @@ from repro.obs import (                               # noqa: E402
     validate_nesting,
     write_chrome_trace,
 )
-from repro.ocssd import DeviceGeometry, OpenChannelSSD   # noqa: E402
-from repro.ox import BlockConfig, MediaManager, OXBlock  # noqa: E402
+from repro.stack import build_stack                   # noqa: E402
 
 SECTOR = 4096
 OVERHEAD_TOLERANCE = 0.02
@@ -77,15 +75,8 @@ def check_overhead() -> str:
 
 def traced_smoke(cfg: dict, trace_path: str) -> Obs:
     """The perf-smoke workload with an Obs hub attached, trace exported."""
-    geometry = DeviceGeometry(
-        num_groups=cfg["groups"], pus_per_group=cfg["pus"],
-        flash=FlashGeometry(blocks_per_plane=cfg["chunks"],
-                            pages_per_block=cfg["pages"]))
-    device = OpenChannelSSD(geometry=geometry)
-    obs = Obs().attach(device)
-    ftl = OXBlock.format(MediaManager(device), BlockConfig(
-        wal_chunk_count=cfg["wal_chunks"],
-        ckpt_chunks_per_slot=cfg["ckpt_chunks"]))
+    stack = build_stack(stack_spec(cfg, obs=True))
+    device, obs, ftl = stack.device, stack.obs, stack.ftl
     unit = device.geometry.ws_min
     payload = bytes(unit * SECTOR)
     for op in range(cfg["fill_ops"]):

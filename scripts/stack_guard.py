@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI guard for the stack-assembly layer (a ``scripts/check.sh`` step).
+
+Two checks:
+
+1. **No inline wiring** — nothing under ``benchmarks/``, ``scripts/``,
+   or ``examples/`` may construct ``OpenChannelSSD(`` directly; every
+   stack goes through :func:`repro.stack.build_stack` so specs remain
+   the single source of assembly truth.  ``src/repro`` is exempt (the
+   builder itself and the layers live there), as are tests (unit tests
+   legitimately wire single layers) and any file in ``ALLOWLIST``.
+2. **Spec smoke** — ``examples/specs/lightlsm_smoke.json`` must build
+   and run end to end through the ``python -m repro.stack`` path and
+   report a nonzero operation count.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/stack_guard.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+SCANNED_DIRS = ("benchmarks", "scripts", "examples")
+#: Files allowed to mention the constructor despite living in a scanned
+#: directory (tests are outside the scanned set; this guard names the
+#: pattern in its own docstring).
+ALLOWLIST: frozenset = frozenset({"scripts/stack_guard.py"})
+INLINE_WIRING = re.compile(r"\bOpenChannelSSD\s*\(")
+SMOKE_SPEC = os.path.join(REPO_ROOT, "examples", "specs",
+                          "lightlsm_smoke.json")
+
+
+def find_inline_wiring() -> list:
+    """(path, line_no, line) for every inline device construction."""
+    violations = []
+    for top in SCANNED_DIRS:
+        for dirpath, __, filenames in os.walk(os.path.join(REPO_ROOT, top)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, REPO_ROOT)
+                if rel in ALLOWLIST:
+                    continue
+                with open(path) as handle:
+                    for line_no, line in enumerate(handle, 1):
+                        if INLINE_WIRING.search(line):
+                            violations.append((rel, line_no, line.strip()))
+    return violations
+
+
+def check_no_inline_wiring() -> None:
+    violations = find_inline_wiring()
+    if violations:
+        for rel, line_no, line in violations:
+            print(f"  {rel}:{line_no}: {line}", file=sys.stderr)
+        raise SystemExit(
+            f"FAIL: {len(violations)} inline OpenChannelSSD construction(s) "
+            f"outside repro.stack — declare a StackSpec and call "
+            f"build_stack() instead")
+    print(f"no inline device wiring in {'/'.join(SCANNED_DIRS)}")
+
+
+def check_spec_smoke() -> None:
+    from repro.stack import run_spec
+    from repro.stack.__main__ import load_spec
+    spec = load_spec(SMOKE_SPEC)
+    metrics = run_spec(spec)
+    if not metrics.get("fill_ops"):
+        raise SystemExit(
+            f"FAIL: smoke spec {SMOKE_SPEC} ran but reported no fill ops: "
+            f"{metrics}")
+    print(f"spec smoke: {os.path.relpath(SMOKE_SPEC, REPO_ROOT)} ran "
+          f"{metrics['fill_ops']} fill + {metrics.get('read_ops', 0)} read "
+          f"ops in {metrics['sim_seconds']}s simulated")
+
+
+def main() -> int:
+    check_no_inline_wiring()
+    check_spec_smoke()
+    print("stack guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,10 @@ import json
 import os
 from typing import Iterable, List, Mapping, Optional, Tuple
 
-from repro.lsm import DB, DBConfig, DbBench, LightLSMEnv, PlacementPolicy
-from repro.nand import FlashGeometry
+from repro.lsm import DB, LightLSMEnv, PlacementPolicy
 from repro.obs.metrics import MetricsRegistry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
-from repro.ox import MediaManager
+from repro.ocssd import OpenChannelSSD
+from repro.stack import StackSpec, build_stack
 from repro.units import KIB, MIB
 
 REPO_ROOT = os.path.dirname(os.path.dirname(
@@ -97,8 +96,7 @@ def report_registry(name: str, registry: MetricsRegistry,
     flat = registry.flat()
     lines = [header or f"Metrics: {name}"]
     lines.extend(f"  {key:>18s} = {value}" for key, value in flat.items())
-    report(name, lines, metrics=flat)
-    return os.path.join(RESULTS_DIR, f"{name}.txt")
+    return report(name, lines, metrics=flat)
 
 
 def load_trajectory(path: str = TRAJECTORY_PATH) -> List[dict]:
@@ -125,16 +123,20 @@ def append_trajectory(name: str, metrics: Mapping[str, object],
     return entry
 
 
+def evaluation_spec(chunks_per_pu: int = 160, **overrides) -> StackSpec:
+    """The Figure 4 drive, scaled, as a stack spec: 8 groups x 4 PUs,
+    dual-plane TLC, 96 KB write unit; chunks scaled from 24 MB to 192 KB
+    (factor 128) so a pure-Python run stays tractable.  SSTable = one
+    chunk per PU, as in the paper."""
+    return StackSpec(
+        geometry={"num_groups": 8, "pus_per_group": 4,
+                  "chunks_per_pu": chunks_per_pu, "pages_per_block": 6},
+        **overrides)
+
+
 def evaluation_device(chunks_per_pu: int = 160) -> OpenChannelSSD:
-    """The Figure 4 drive, scaled: 8 groups x 4 PUs, dual-plane TLC,
-    96 KB write unit; chunks scaled from 24 MB to 192 KB (factor 128) so
-    a pure-Python run stays tractable.  SSTable = one chunk per PU, as in
-    the paper."""
-    geometry = DeviceGeometry(
-        num_groups=8, pus_per_group=4,
-        flash=FlashGeometry(blocks_per_plane=chunks_per_pu,
-                            pages_per_block=6))
-    return OpenChannelSSD(geometry=geometry)
+    """The bare Figure 4 drive (see :func:`evaluation_spec`)."""
+    return build_stack(evaluation_spec(chunks_per_pu, ftl="none")).device
 
 
 def lightlsm_db(placement: PlacementPolicy,
@@ -143,13 +145,11 @@ def lightlsm_db(placement: PlacementPolicy,
                                                             LightLSMEnv, DB]:
     """The Figure 5/6 stack: RocksDB-lite over LightLSM over the scaled
     evaluation drive, 96 KB blocks, no compression, no block cache."""
-    device = evaluation_device(chunks_per_pu)
-    media = MediaManager(device)
-    env = LightLSMEnv(media, placement)
-    config = DBConfig(block_size=96 * KIB,
-                      write_buffer_bytes=write_buffer_bytes)
-    db = DB(env, config, device.sim)
-    return device, env, db
+    stack = build_stack(evaluation_spec(
+        chunks_per_pu, ftl="lightlsm", placement=placement.name,
+        db={"block_size": 96 * KIB,
+            "write_buffer_bytes": write_buffer_bytes}))
+    return stack.device, stack.env, stack.db
 
 
 def format_kops(value: float) -> str:

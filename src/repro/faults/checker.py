@@ -39,11 +39,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import InvariantViolation, OutOfSpaceError, ReproError
 from repro.faults.model import FaultInjector, FaultPlan
-from repro.nand import FlashGeometry
-from repro.ocssd import DeviceGeometry, OpenChannelSSD
 from repro.ocssd.chunk import ChunkState
-from repro.ox import BlockConfig, MediaManager, OXBlock
+from repro.ox import MediaManager, OXBlock
 from repro.ox.ftl.metadata import FtlChunkState
+from repro.stack import StackSpec, build_stack
 
 _STAMP = struct.Struct("<II")   # (version, lba) tiled across the sector
 
@@ -116,16 +115,15 @@ class _Shadow:
                     break
 
 
-def _build_stack():
-    geometry = DeviceGeometry(
-        num_groups=2, pus_per_group=2,
-        flash=FlashGeometry(blocks_per_plane=8, pages_per_block=6))
-    device = OpenChannelSSD(geometry=geometry)
-    media = MediaManager(device)
-    config = BlockConfig(wal_chunk_count=4, ckpt_chunks_per_slot=2,
-                         gc_low_watermark=3, gc_high_watermark=6,
-                         wal_pressure_threshold=0.5)
-    return device, media, config
+#: The checker's stack, declaratively: a small OX-Block drive whose GC
+#: and WAL-pressure paths all fire within a few hundred ops.
+CHECKER_SPEC = dict(
+    geometry={"num_groups": 2, "pus_per_group": 2,
+              "chunks_per_pu": 8, "pages_per_block": 6},
+    ftl="oxblock",
+    ftl_config={"wal_chunk_count": 4, "ckpt_chunks_per_slot": 2,
+                "gc_low_watermark": 3, "gc_high_watermark": 6,
+                "wal_pressure_threshold": 0.5})
 
 
 def _plan_for(cfg: CheckConfig) -> FaultPlan:
@@ -179,8 +177,10 @@ def _parse_sector(cfg: CheckConfig, lba: int, data: bytes,
 def run_crash_check(cfg: CheckConfig) -> CheckResult:
     """One randomized power-cut run; raises InvariantViolation on any
     post-recovery disagreement with the shadow model."""
-    device, media, config = _build_stack()
-    ftl = OXBlock.format(media, config)
+    # The injector attaches *after* the FTL formats, so format-time media
+    # ops never count toward the op-indexed power cut.
+    stack = build_stack(StackSpec(**CHECKER_SPEC))
+    device, media, ftl = stack.device, stack.media, stack.ftl
     injector = FaultInjector(_plan_for(cfg))
     injector.attach(device)
     geometry = media.geometry
@@ -289,7 +289,7 @@ def run_crash_check(cfg: CheckConfig) -> CheckResult:
     # -- recover ----------------------------------------------------------
     injector.quiesce()
     injector.restore_power()
-    ftl2, report = OXBlock.recover(MediaManager(device), config)
+    ftl2, report = OXBlock.recover(MediaManager(device), ftl.config)
     lost.update(report.lost_lbas)
     result.lost_lbas = len(lost)
     result.txns_replayed = report.txns_applied
@@ -394,7 +394,7 @@ def run_crash_check(cfg: CheckConfig) -> CheckResult:
         pass    # device genuinely full; the write path already degraded
     else:
         ftl2.crash()
-        ftl3, __ = OXBlock.recover(MediaManager(device), config)
+        ftl3, __ = OXBlock.recover(MediaManager(device), ftl.config)
         if ftl3.read(probe_lba, 1) != probe:
             _violation(cfg, "D",
                        "flushed post-recovery write did not survive a "

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ReproError
+from repro.sidecar import FAULTS_SLOT, Sidecar
 
 if TYPE_CHECKING:
     from repro.ocssd.device import OpenChannelSSD
@@ -81,13 +82,15 @@ class FaultStats:
     ops_rejected_off: int = 0
 
 
-class FaultInjector:
+class FaultInjector(Sidecar):
     """Attaches one :class:`FaultPlan` to one device."""
 
+    slot = FAULTS_SLOT
+
     def __init__(self, plan: FaultPlan):
+        super().__init__()
         plan.validate()
         self.plan = plan
-        self.device: Optional["OpenChannelSSD"] = None
         self.powered = True
         self.tripped = False          # has the power cut fired?
         self.cut_time: Optional[float] = None
@@ -95,25 +98,16 @@ class FaultInjector:
         self._rng = random.Random(plan.seed)
         self._quiesced = False
 
-    # -- wiring -----------------------------------------------------------
+    # -- wiring (Sidecar protocol) -----------------------------------------
 
-    def attach(self, device: "OpenChannelSSD") -> "FaultInjector":
-        if self.device is not None:
-            raise ReproError("fault injector is already attached")
-        self.device = device
-        device.faults = self
+    def sidecar_targets(self, device: "OpenChannelSSD"):
+        # The controller carries no faults slot: injection happens at the
+        # device boundary (power state) and inside the chips (media ops).
+        return (device, *device.chips.values())
+
+    def _sidecar_wire(self, device: "OpenChannelSSD") -> None:
         for (group, pu), chip in device.chips.items():
-            chip.faults = self
             chip.fault_key = (group, pu)
-        return self
-
-    def detach(self) -> None:
-        if self.device is None:
-            return
-        self.device.faults = None
-        for chip in self.device.chips.values():
-            chip.faults = None
-        self.device = None
 
     def quiesce(self) -> None:
         """Stop injecting: probabilistic faults, grown-bad plans and pending

@@ -12,7 +12,6 @@ vertical placement (Figure 4).
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.memtable import MemTable, TOMBSTONE
 from repro.lsm.sstable import SSTableBuilder, SSTableData, SSTableMeta
-from repro.lsm.ratelimiter import RateLimiter
 from repro.lsm.env import MemEnv, SSTableHandle, StorageEnv
 from repro.lsm.lightlsm import (
     HorizontalPlacement,
@@ -32,7 +31,6 @@ __all__ = [
     "SSTableBuilder",
     "SSTableData",
     "SSTableMeta",
-    "RateLimiter",
     "MemEnv",
     "SSTableHandle",
     "StorageEnv",

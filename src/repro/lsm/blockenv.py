@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import OutOfSpaceError, ReproError
-from repro.lsm.env import SSTableHandle, SSTableWriter, StorageEnv
+from repro.lsm.env import SSTableHandle, SSTableWriter
+from repro.lsm.envbase import ManifestEnv, pad_to_sectors
 from repro.ox.block import OXBlock
 
 
@@ -62,13 +63,12 @@ class _BlockDevWriter(SSTableWriter):
 
     def finish_proc(self, meta_blob: bytes):
         self._ensure_extent()
-        sector = self.env.sector_size
-        meta_sectors = -(-len(meta_blob) // sector)
+        meta_sectors, padded = pad_to_sectors(meta_blob,
+                                              self.env.sector_size)
         data_sectors = self._blocks_written * self.block_sectors
         if data_sectors + meta_sectors > self._extent.sectors:
             raise OutOfSpaceError(
                 f"sstable {self.sstable_id} meta overflows its extent")
-        padded = meta_blob.ljust(meta_sectors * sector, b"\x00")
         yield from self.env.ftl.write_proc(
             self._extent.start_lba + data_sectors, padded)
         handle = SSTableHandle(self.sstable_id, self.level)
@@ -85,10 +85,11 @@ class _BlockDevWriter(SSTableWriter):
         yield  # pragma: no cover - generator marker
 
 
-class BlockDevEnv(StorageEnv):
+class BlockDevEnv(ManifestEnv):
     """A minimal extent 'file system' over an OX-Block device."""
 
     def __init__(self, ftl: OXBlock, table_sectors: int):
+        super().__init__()
         self.ftl = ftl
         self.sim = ftl.sim
         self.sector_size = ftl.geometry.sector_size
@@ -97,9 +98,8 @@ class BlockDevEnv(StorageEnv):
         self._free_list: List[_Extent] = []
         self._capacity_sectors = (len(ftl.layout.data_chunk_keys())
                                   * ftl.geometry.sectors_per_chunk)
+        # ManifestEnv._tables maps
         # id -> (extent, data blocks, meta sectors, meta bytes, level)
-        self._tables: Dict[int, Tuple[_Extent, int, int, int, int]] = {}
-        self.manifest: List[Tuple[str, int, int]] = []
 
     @property
     def tenant(self):
@@ -122,11 +122,7 @@ class BlockDevEnv(StorageEnv):
 
     def create_writer_proc(self, sstable_id: int, level: int,
                            block_size: int):
-        if block_size % self.sector_size:
-            raise ReproError(
-                f"block_size {block_size} not sector-aligned")
-        if sstable_id in self._tables:
-            raise ReproError(f"sstable {sstable_id} already exists")
+        self._admit_writer(sstable_id, block_size)
         self.note_block_size(block_size)
         return _BlockDevWriter(self, sstable_id, level, block_size)
         yield  # pragma: no cover - generator marker
@@ -159,25 +155,7 @@ class BlockDevEnv(StorageEnv):
         yield from self.ftl.trim_proc(extent.start_lba, extent.sectors)
         self._free(extent)
 
-    def list_tables_proc(self):
-        """Visibility via the MANIFEST, as on any file system."""
-        live: Dict[int, int] = {}
-        for action, sstable_id, level in self.manifest:
-            if action == "add":
-                live[sstable_id] = level
-            else:
-                live.pop(sstable_id, None)
-        result = []
-        for sstable_id in sorted(live):
-            if sstable_id not in self._tables:
-                continue
-            handle = SSTableHandle(sstable_id, live[sstable_id])
-            blob = yield from self.read_meta_proc(handle)
-            result.append((handle, blob))
-        return result
-
-    def log_version_edit(self, edit: Tuple[str, int, int]) -> None:
-        self.manifest.append(edit)
+    # list_tables_proc / log_version_edit / _require: ManifestEnv.
 
     # -- internals ----------------------------------------------------------------
 
@@ -200,10 +178,3 @@ class BlockDevEnv(StorageEnv):
 
     def _free(self, extent: _Extent) -> None:
         self._free_list.append(extent)
-
-    def _require(self, handle: SSTableHandle):
-        try:
-            return self._tables[handle.sstable_id]
-        except KeyError:
-            raise ReproError(
-                f"unknown sstable {handle.sstable_id}") from None

@@ -24,7 +24,7 @@ from repro.lsm.compaction import (
 )
 from repro.lsm.env import StorageEnv
 from repro.lsm.memtable import TOMBSTONE, MemTable, _Tombstone
-from repro.lsm.ratelimiter import RateLimiter
+from repro.qos.tokenbucket import TokenBucket
 from repro.lsm.sstable import SSTableBuilder, SSTableMeta, search_block
 from repro.sim.core import Interrupt, Simulator
 from repro.units import KIB, MIB
@@ -80,7 +80,7 @@ class DB:
         self.immutable: Optional[List[Tuple[bytes, object]]] = None
         self.levels: List[List[TableRef]] = [
             [] for __ in range(config.max_levels)]
-        self.limiter = RateLimiter(sim, config.rate_limit_bytes_per_sec)
+        self.limiter = TokenBucket(sim, config.rate_limit_bytes_per_sec)
         self.stats = DBStats()
         # Observability (repro.obs): inherited from the simulator; None
         # unless a hub was attached before the DB was built.

@@ -27,6 +27,19 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ReproError
 
 
+def replay_manifest(
+        manifest: List[Tuple[str, int, int]]) -> Dict[int, int]:
+    """Replay ("add"/"del", sstable_id, level) version edits into the
+    live table set, ``{sstable_id: level}``."""
+    live: Dict[int, int] = {}
+    for action, sstable_id, level in manifest:
+        if action == "add":
+            live[sstable_id] = level
+        else:
+            live.pop(sstable_id, None)
+    return live
+
+
 @dataclass(frozen=True)
 class SSTableHandle:
     """An opaque reference to one on-medium SSTable."""
@@ -183,13 +196,7 @@ class MemEnv(StorageEnv):
         if self.read_latency:
             yield self.sim.timeout(self.read_latency)
         if self.manifest_required:
-            live: Dict[int, int] = {}
-            for action, sstable_id, level in self.manifest:
-                if action == "add":
-                    live[sstable_id] = level
-                else:
-                    live.pop(sstable_id, None)
-            ids = live
+            ids = replay_manifest(self.manifest)
         else:
             ids = {sstable_id: level
                    for sstable_id, (level, __, __m) in self._tables.items()}

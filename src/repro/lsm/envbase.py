@@ -1,0 +1,129 @@
+"""Shared machinery under the concrete storage environments.
+
+:mod:`repro.lsm.env` defines *what* the LSM engine needs from storage;
+this module holds the *how* that every on-device environment kept
+re-implementing before the stack refactor:
+
+* :class:`ManifestEnv` — the MANIFEST-governed visibility contract
+  shared by :class:`~repro.lsm.blockenv.BlockDevEnv` and
+  :class:`~repro.lsm.znsenv.ZnsEnv`: version-edit logging, the
+  replay-then-read-meta recovery walk, and the handle lookup.
+  (LightLSM deliberately does **not** inherit this: atomic SSTable
+  flush makes the MANIFEST unnecessary, §5.)
+* :func:`pad_to_sectors` — the meta-blob padding arithmetic (round up
+  to whole sectors, optionally to whole write units).
+* :class:`WriteDispatcher` — the paper's "single dispatch thread"
+  (§4.2): one queue, strictly serialized submissions, overlapping
+  completions.  LightLSM owns the only write pointers today, but the
+  thread itself is environment-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.lsm.env import (
+    SSTableHandle, StorageEnv, replay_manifest)
+from repro.ocssd.address import Ppa
+from repro.sim.resources import Store
+
+
+def pad_to_sectors(blob: bytes, sector_size: int,
+                   unit_sectors: int = 1) -> Tuple[int, bytes]:
+    """Pad *blob* to whole sectors (and, with *unit_sectors* > 1, to
+    whole write units); returns ``(sectors, padded)``."""
+    sectors = -(-len(blob) // sector_size)
+    sectors += (-sectors) % unit_sectors
+    return sectors, blob.ljust(sectors * sector_size, b"\x00")
+
+
+class ManifestEnv(StorageEnv):
+    """A storage env whose table visibility is governed by a MANIFEST.
+
+    Subclasses own ``self._tables`` (id -> per-env layout record) and
+    ``self.sector_size``; this base supplies the shared contract: the
+    version-edit log, the recovery walk that replays it and reads each
+    live table's meta, the writer-admission checks, and the strict
+    handle lookup.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[int, object] = {}
+        self.manifest: List[Tuple[str, int, int]] = []
+
+    def _admit_writer(self, sstable_id: int, block_size: int) -> None:
+        """Both MANIFEST envs sit on sector-addressed FTLs: blocks need
+        only sector alignment, and table ids must be fresh."""
+        if block_size % self.sector_size:
+            raise ReproError(f"block_size {block_size} not sector-aligned")
+        if sstable_id in self._tables:
+            raise ReproError(f"sstable {sstable_id} already exists")
+
+    def list_tables_proc(self):
+        """Visibility via the MANIFEST, as on any file system: a table
+        exists iff its "add" edit survived replay."""
+        live = replay_manifest(self.manifest)
+        result = []
+        for sstable_id in sorted(live):
+            if sstable_id not in self._tables:
+                continue
+            handle = SSTableHandle(sstable_id, live[sstable_id])
+            blob = yield from self.read_meta_proc(handle)
+            result.append((handle, blob))
+        return result
+
+    def log_version_edit(self, edit: Tuple[str, int, int]) -> None:
+        self.manifest.append(edit)
+
+    def _require(self, handle: SSTableHandle):
+        try:
+            return self._tables[handle.sstable_id]
+        except KeyError:
+            raise ReproError(
+                f"unknown sstable {handle.sstable_id}") from None
+
+
+@dataclass
+class _DispatchJob:
+    ppas: List[Ppa]
+    data: List[bytes]
+    oob: List[object]
+    fua: bool
+    done: object   # Event
+
+
+class WriteDispatcher:
+    """The single thread owning every write pointer (§4.2): submissions
+    are strictly serialized in queue order, completions overlap."""
+
+    def __init__(self, sim, media, name: str = "lsm"):
+        self.sim = sim
+        self.media = media
+        self._queue = Store(sim, name=f"{name}-dispatch")
+        sim.spawn(self._dispatcher(), name=f"{name}-dispatcher")
+        self._write_name = f"{name}-write"
+
+    def submit(self, ppas: List[Ppa], data: List[bytes],
+               oob: List[object], fua: bool = False):
+        """Queue a write on the dispatch thread; returns the done event."""
+        done = self.sim.event()
+        self._queue.put(_DispatchJob(ppas, data, oob, fua, done))
+        return done
+
+    def _dispatcher(self):
+        from repro.ocssd.commands import VectorWrite
+
+        def completer(job: _DispatchJob):
+            completion = yield from self.media.device.submit(
+                VectorWrite(ppas=job.ppas, data=job.data, oob=job.oob,
+                            fua=job.fua))
+            job.done.succeed(completion)
+
+        while True:
+            job: _DispatchJob = yield self._queue.get()
+            # Spawning admits the write synchronously on the process's
+            # first step, in queue order: write pointers advance under a
+            # single logical thread.
+            self.sim.spawn(completer(job), name=self._write_name)

@@ -32,10 +32,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import OutOfSpaceError, ReproError
 from repro.lsm.env import SSTableHandle, SSTableWriter, StorageEnv
+from repro.lsm.envbase import WriteDispatcher, pad_to_sectors
 from repro.ocssd.address import Ppa
 from repro.ocssd.chunk import ChunkState, pad_sector
 from repro.ox.media import MediaManager
-from repro.sim.resources import Store
 
 ChunkKey = Tuple[int, int, int]
 PuKey = Tuple[int, int]
@@ -143,15 +143,6 @@ class _TableLayout:
 
 
 @dataclass
-class _DispatchJob:
-    ppas: List[Ppa]
-    data: List[bytes]
-    oob: List[object]
-    fua: bool
-    done: object   # Event
-
-
-@dataclass
 class LightLSMStats:
     tables_flushed: int = 0
     tables_deleted: int = 0
@@ -187,9 +178,9 @@ class LightLSMEnv(StorageEnv):
                 self.free_pool[(group, pu)].append((group, pu, chunk))
         self._tables: Dict[int, _TableLayout] = {}
         self.stats = LightLSMStats()
-        # The single dispatch thread.
-        self._dispatch_queue = Store(self.sim, name="lightlsm-dispatch")
-        self.sim.spawn(self._dispatcher(), name="lightlsm-dispatcher")
+        # The single dispatch thread (§4.2), shared machinery now.
+        self._dispatcher = WriteDispatcher(self.sim, media,
+                                           name="lightlsm")
 
     @property
     def tenant(self):
@@ -349,27 +340,7 @@ class LightLSMEnv(StorageEnv):
     def submit_write(self, ppas: List[Ppa], data: List[bytes],
                      oob: List[object], fua: bool = False):
         """Queue a write on the dispatch thread; returns the done event."""
-        done = self.sim.event()
-        self._dispatch_queue.put(_DispatchJob(ppas, data, oob, fua, done))
-        return done
-
-    def _dispatcher(self):
-        """The single thread owning every write pointer: submissions are
-        strictly serialized, completions overlap."""
-        from repro.ocssd.commands import VectorWrite
-
-        def completer(job: _DispatchJob):
-            completion = yield from self.media.device.submit(
-                VectorWrite(ppas=job.ppas, data=job.data, oob=job.oob,
-                            fua=job.fua))
-            job.done.succeed(completion)
-
-        while True:
-            job: _DispatchJob = yield self._dispatch_queue.get()
-            # Spawning admits the write synchronously on the process's
-            # first step, in queue order: write pointers advance under a
-            # single logical thread.
-            self.sim.spawn(completer(job), name="lightlsm-write")
+        return self._dispatcher.submit(ppas, data, oob, fua)
 
     # -- internals --------------------------------------------------------------------
 
@@ -508,14 +479,13 @@ class _LightLSMWriter(SSTableWriter):
 
         # Meta: written at the start of the dedicated meta chunk, padded
         # to whole write units.
-        meta_sectors = -(-len(meta_blob) // sector_size)
-        meta_sectors += (-meta_sectors) % ws_min
+        meta_sectors, padded = pad_to_sectors(meta_blob, sector_size,
+                                              unit_sectors=ws_min)
         if meta_sectors + ws_min > geometry.sectors_per_chunk:
             raise OutOfSpaceError(
                 f"meta of table {layout.handle.sstable_id} "
                 f"({len(meta_blob)} bytes) exceeds the meta chunk")
         layout.meta_sectors = meta_sectors
-        padded = meta_blob.ljust(meta_sectors * sector_size, b"\x00")
         key = layout.meta_chunk
         ppas = [Ppa(*key, i) for i in range(meta_sectors)]
         data = [padded[i * sector_size:(i + 1) * sector_size]

@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import OutOfSpaceError, ReproError
-from repro.lsm.env import SSTableHandle, SSTableWriter, StorageEnv
+from repro.lsm.env import SSTableHandle, SSTableWriter
+from repro.lsm.envbase import ManifestEnv, pad_to_sectors
 from repro.zns.ftl import OXZns
 from repro.zns.zone import ZoneState
 
@@ -69,10 +70,9 @@ class _ZnsWriter(SSTableWriter):
 
     def finish_proc(self, meta_blob: bytes):
         zns = self.env.zns
-        sector = self.env.sector_size
-        meta_sectors = -(-len(meta_blob) // sector)
+        meta_sectors, padded = pad_to_sectors(meta_blob,
+                                              self.env.sector_size)
         zone_id = yield from self._zone_with_room_proc(meta_sectors)
-        padded = meta_blob.ljust(meta_sectors * sector, b"\x00")
         self.table.meta_lba = yield from zns.append_proc(zone_id, padded)
         self.table.meta_sectors = meta_sectors
         self.table.meta_bytes = len(meta_blob)
@@ -94,16 +94,15 @@ class _ZnsWriter(SSTableWriter):
         self.table.zones = []
 
 
-class ZnsEnv(StorageEnv):
+class ZnsEnv(ManifestEnv):
     """SSTables on zones: append to flush, reset to reclaim."""
 
     def __init__(self, zns: OXZns):
+        super().__init__()
         self.zns = zns
         self.sim = zns.sim
         self.sector_size = zns.geometry.sector_size
         self._free_zones: List[int] = list(range(zns.num_zones))
-        self._tables: Dict[int, _ZnsTable] = {}
-        self.manifest: List[Tuple[str, int, int]] = []
 
     @property
     def tenant(self):
@@ -126,10 +125,7 @@ class ZnsEnv(StorageEnv):
 
     def create_writer_proc(self, sstable_id: int, level: int,
                            block_size: int):
-        if block_size % self.sector_size:
-            raise ReproError(f"block_size {block_size} not sector-aligned")
-        if sstable_id in self._tables:
-            raise ReproError(f"sstable {sstable_id} already exists")
+        self._admit_writer(sstable_id, block_size)
         return _ZnsWriter(self, sstable_id, level, block_size)
         yield  # pragma: no cover - generator marker
 
@@ -157,24 +153,7 @@ class ZnsEnv(StorageEnv):
             yield from self.zns.reset_zone_proc(zone_id)
             self._free_zones.append(zone_id)
 
-    def list_tables_proc(self):
-        live: Dict[int, int] = {}
-        for action, sstable_id, level in self.manifest:
-            if action == "add":
-                live[sstable_id] = level
-            else:
-                live.pop(sstable_id, None)
-        result = []
-        for sstable_id in sorted(live):
-            if sstable_id not in self._tables:
-                continue
-            handle = SSTableHandle(sstable_id, live[sstable_id])
-            blob = yield from self.read_meta_proc(handle)
-            result.append((handle, blob))
-        return result
-
-    def log_version_edit(self, edit: Tuple[str, int, int]) -> None:
-        self.manifest.append(edit)
+    # list_tables_proc / log_version_edit / _require: ManifestEnv.
 
     # -- internals ----------------------------------------------------------------
 
@@ -184,10 +163,3 @@ class ZnsEnv(StorageEnv):
             if self.zns.zone(zone_id).state is ZoneState.EMPTY:
                 return zone_id
         raise OutOfSpaceError("no empty zones left")
-
-    def _require(self, handle: SSTableHandle) -> _ZnsTable:
-        try:
-            return self._tables[handle.sstable_id]
-        except KeyError:
-            raise ReproError(
-                f"unknown sstable {handle.sstable_id}") from None

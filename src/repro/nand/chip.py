@@ -20,6 +20,7 @@ from repro.errors import MediaError, WritePointerError
 from repro.nand.errors import WearModel
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming, timing_for
+from repro.sidecar import FAULTS_SLOT, OBS_SLOT, init_sidecar_slots
 
 
 class BlockState(enum.Enum):
@@ -76,14 +77,12 @@ class FlashChip:
         self._group_sectors = (self.geometry.sectors_per_page
                                * self.geometry.planes)
         self._paired_pages = self.geometry.cell.bits_per_cell
-        # Fault injection (repro.faults): None in normal operation, so the
-        # hot paths pay one attribute load + identity check per op.
-        self.faults = None
-        self.fault_key = (0, 0)   # (group, pu) — set by FaultInjector.attach
-        # Observability (repro.obs): same disabled-is-None guard; the chip
-        # records nand.* metrics, the controller records the spans (it
+        # Sidecars (repro.sidecar): None in normal operation, so the hot
+        # paths pay one attribute load + identity check per op.  The chip
+        # records nand.* obs metrics; the controller records the spans (it
         # knows the parent command).
-        self.obs = None
+        init_sidecar_slots(self, FAULTS_SLOT, OBS_SLOT)
+        self.fault_key = (0, 0)   # (group, pu) — set on faults attach
         for index in factory_bad or []:
             self.blocks[index].state = BlockState.BAD
 

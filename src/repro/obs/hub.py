@@ -20,48 +20,36 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
+from repro.sidecar import OBS_SLOT, Sidecar
 
 if TYPE_CHECKING:
     from repro.ocssd.device import OpenChannelSSD
 
 
-class Obs:
+class Obs(Sidecar):
     """Attaches tracing + metrics to one device stack."""
 
+    slot = OBS_SLOT
+
     def __init__(self, max_events: int = 2_000_000):
+        super().__init__()
         self.tracer = Tracer(max_events=max_events)
         self.metrics = MetricsRegistry()
-        self.device: Optional["OpenChannelSSD"] = None
         self.sim = None
 
-    # -- wiring -----------------------------------------------------------
+    # -- wiring (Sidecar protocol) ------------------------------------------
 
-    def attach(self, device: "OpenChannelSSD") -> "Obs":
-        if self.device is not None:
-            raise ReproError("obs hub is already attached")
-        self.device = device
+    def sidecar_targets(self, device: "OpenChannelSSD"):
+        # The simulator carries an obs slot too: layers built after attach
+        # (FTLs, the LSM engine) inherit the hub from ``sim.obs``.
+        return (device, device.controller, device.sim,
+                *device.chips.values())
+
+    def _sidecar_wire(self, device: "OpenChannelSSD") -> None:
         self.sim = device.sim
         self.tracer.sim = device.sim
-        device.obs = self
-        device.controller.obs = self
-        device.sim.obs = self
-        for chip in device.chips.values():
-            chip.obs = self
-        return self
-
-    def detach(self) -> None:
-        if self.device is None:
-            return
-        self.device.obs = None
-        self.device.controller.obs = None
-        if self.device.sim.obs is self:
-            self.device.sim.obs = None
-        for chip in self.device.chips.values():
-            chip.obs = None
-        self.device = None
 
     # -- tracing shortcuts ------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.ocssd.address import Ppa
 from repro.ocssd.cache import WriteBackCache
 from repro.ocssd.chunk import Chunk, ChunkState
 from repro.ocssd.geometry import DeviceGeometry
+from repro.sidecar import OBS_SLOT, QOS_SLOT, init_sidecar_slots
 from repro.sim.core import Simulator
 from repro.sim.resources import Resource, Store
 
@@ -87,14 +88,12 @@ class Controller:
             self._ctx[chunk] = (chips[pu_key], self.chip_locks[pu_key],
                                 self.channels[group], pu_key)
         self.stats = ControllerStats()
-        # Observability (repro.obs): None unless a hub is attached; every
-        # instrumented path below guards on it, faults-style.
-        self.obs = None
-        # QoS scheduler (repro.qos): None unless attached; with it, channel
-        # grants route through the scheduler's gate (weighted DRR + read
+        # Sidecars (repro.sidecar): None unless attached.  With an obs hub
+        # every instrumented path below records spans; with a qos scheduler
+        # channel grants route through its gate (weighted DRR + read
         # priority) instead of the Resources' FIFO order, and chip-lock
         # priorities favor reads over erases.
-        self.qos = None
+        init_sidecar_slots(self, OBS_SLOT, QOS_SLOT)
         self._epoch = 0
         self._pending_flush = 0
         self._idle_waiters: List[object] = []

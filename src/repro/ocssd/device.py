@@ -36,6 +36,8 @@ from repro.ocssd.commands import (
 )
 from repro.ocssd.controller import Controller
 from repro.ocssd.geometry import DeviceGeometry
+from repro.sidecar import (
+    FAULTS_SLOT, OBS_SLOT, QOS_SLOT, init_sidecar_slots)
 from repro.sim.core import Simulator
 
 
@@ -112,15 +114,11 @@ class OpenChannelSSD:
                 self.chunks[(group, pu, chunk_index)] = chunk
 
         self.notifications: List[ChunkNotification] = []
-        # Fault injection (repro.faults): None unless an injector is
-        # attached, so the disabled case costs one check per submit.
-        self.faults = None
-        # Observability (repro.obs): None unless Obs.attach() wired a hub;
-        # submit() then opens one root span per command.
-        self.obs = None
-        # QoS scheduler (repro.qos): None unless QosScheduler.attach()
-        # wired one; commands then carry tenant identity into it.
-        self.qos = None
+        # Sidecars (repro.sidecar): every slot is None unless the matching
+        # subsystem attached, so each disabled check costs one attribute
+        # load.  faults gates submit(); obs opens one root span per
+        # command; qos carries tenant identity into the scheduler.
+        init_sidecar_slots(self, FAULTS_SLOT, OBS_SLOT, QOS_SLOT)
         self.controller = Controller(
             self.sim, self.geometry, self.chips, self.chunks,
             notify=self._notify, write_back=write_back,

@@ -49,6 +49,7 @@ from typing import Dict, Optional
 
 from repro.qos.tenant import SYSTEM_TENANT, TenantContext
 from repro.qos.tokenbucket import TokenBucket
+from repro.sidecar import QOS_SLOT, Sidecar
 from repro.sim.core import Event, Simulator
 
 
@@ -133,7 +134,7 @@ class _Gate:
         self.write = _ClassQueue()
 
 
-class QosScheduler:
+class QosScheduler(Sidecar):
     """Weighted-DRR channel scheduler with read priority and throttles.
 
     Attach to a device with :meth:`attach`; thereafter the controller
@@ -141,7 +142,10 @@ class QosScheduler:
     :meth:`channel_acquire_proc` / :meth:`channel_release`.
     """
 
+    slot = QOS_SLOT
+
     def __init__(self, sim: Simulator, config: Optional[QosConfig] = None):
+        super().__init__()
         self.sim = sim
         self.config = config or QosConfig()
         self._gates: Dict[int, _Gate] = {}
@@ -154,17 +158,19 @@ class QosScheduler:
         self.fast_grants = 0
         self.throttle_delays = 0
 
-    # -- wiring -------------------------------------------------------------
+    # -- wiring (Sidecar protocol) -------------------------------------------
 
-    def attach(self, device) -> "QosScheduler":
-        """Wire this scheduler into *device* (and its controller/sim)."""
+    def sidecar_targets(self, device):
+        # No chip slot: qos acts at the channel gates and chip-lock
+        # priorities, both of which live in the controller.  The simulator
+        # carries the slot so layers built later (the LSM engine's
+        # background gate) inherit the scheduler from ``sim.qos``.
+        return (device, device.controller, device.sim)
+
+    def _sidecar_validate(self, device) -> None:
         if device.sim is not self.sim:
             raise ValueError("scheduler and device belong to different "
                              "simulators")
-        device.qos = self
-        device.controller.qos = self
-        self.sim.qos = self
-        return self
 
     def register_tenant(self, tenant: TenantContext) -> TenantContext:
         """Create the tenant's ingress throttle (a no-op bucket when the

@@ -1,8 +1,8 @@
 """The repo's one token-bucket rate limiter.
 
 Two consumers share this implementation: the LSM background throttle
-(``repro.lsm.ratelimiter`` re-exports it as ``RateLimiter``, RocksDB's
-name for the same device) and the QoS scheduler's per-tenant ingress
+(``repro.lsm.db`` imports it directly — RocksDB calls the same device a
+``RateLimiter``) and the QoS scheduler's per-tenant ingress
 throttles.  The paper frames both as the same mechanism — bounding a
 traffic class's bytes/second so it cannot monopolize the device — so the
 repo keeps a single implementation.

@@ -1,0 +1,49 @@
+"""``python -m repro.stack <spec.json|spec.toml>``: run a declared stack.
+
+Loads the spec (JSON by content, TOML by ``.toml`` suffix), validates
+it, builds and runs the stack, and writes the standard results files
+(``benchmarks/results/<name>.txt`` + JSON twin).  Exit code 0 on
+success; spec errors print the offending field and exit 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.stack.runner import run_and_report
+from repro.stack.spec import StackSpec
+
+
+def load_spec(path: str) -> StackSpec:
+    if path.endswith(".toml"):
+        import tomllib
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    else:
+        with open(path) as handle:
+            data = json.load(handle)
+    return StackSpec.from_dict(data)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stack",
+        description=__doc__.split("\n")[0])
+    parser.add_argument("spec", help="path to a JSON or TOML StackSpec")
+    parser.add_argument("--name", default=None,
+                        help="override the results-file name")
+    args = parser.parse_args(argv)
+    try:
+        spec = load_spec(args.spec)
+    except ReproError as exc:
+        print(f"invalid spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    run_and_report(spec, name=args.name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Execute a :class:`StackSpec`'s workload and emit the results files.
+
+``run_spec`` builds the stack, drives the declared workload, and
+returns a flat metrics dict; ``python -m repro.stack spec.json`` (see
+``__main__``) additionally persists the usual harness artifacts —
+``benchmarks/results/<name>.txt`` plus its JSON twin — through
+:func:`repro.benchhelpers.report`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.stack.build import Stack, build_stack
+from repro.stack.spec import StackSpec
+
+SECTOR = 4096
+
+
+def _db_workload(stack: Stack) -> Dict[str, object]:
+    workload = stack.spec.workload
+    bench = stack.dbbench()
+    fill = bench.fill_sequential(clients=workload.clients,
+                                 ops_per_client=workload.ops_per_client)
+    metrics = {
+        "fill_ops": fill.ops,
+        "fill_ops_per_sec": round(fill.ops_per_sec, 1),
+        "stall_seconds": round(fill.stall_seconds, 6),
+        "compactions": fill.compactions,
+        "flushes": fill.flushes,
+    }
+    if workload.kind != "fill_sequential":
+        bench.quiesce()
+        read_ops = (workload.read_ops_per_client
+                    or workload.ops_per_client)
+        if workload.kind == "fill_then_read_random":
+            result = bench.read_random(clients=workload.clients,
+                                       ops_per_client=read_ops)
+        else:
+            result = bench.read_sequential(clients=workload.clients,
+                                           ops_per_client=read_ops)
+        metrics["read_ops"] = result.ops
+        metrics["read_ops_per_sec"] = round(result.ops_per_sec, 1)
+    return metrics
+
+
+def _raw_workload(stack: Stack) -> Dict[str, object]:
+    """The perf-trajectory shape: write-unit fills through the FTL's
+    block API, then random single-sector reads over the filled span."""
+    workload = stack.spec.workload
+    ftl = stack.ftl
+    if ftl is None or not hasattr(ftl, "write"):
+        raise ReproError(
+            f"workload 'raw_fill_read' needs a block FTL, "
+            f"not ftl={stack.spec.ftl!r}")
+    unit = stack.device.geometry.ws_min
+    payload = bytes(unit * SECTOR)
+    started = time.perf_counter()
+    for op in range(workload.fill_ops):
+        ftl.write(op * unit, payload)
+    ftl.flush()
+    rng = random.Random(stack.spec.seed or 17)
+    span = workload.fill_ops * unit
+    for __ in range(workload.read_ops):
+        ftl.read(rng.randrange(span), 1)
+    stack.sim.run()
+    wall = time.perf_counter() - started
+    total = workload.fill_ops + workload.read_ops
+    return {
+        "fill_ops": workload.fill_ops,
+        "read_ops": workload.read_ops,
+        "ops_per_sec": round(total / wall, 1) if wall else 0.0,
+    }
+
+
+def run_spec(spec: StackSpec) -> Dict[str, object]:
+    """Build the stack, run its workload, return the metrics."""
+    stack = build_stack(spec)
+    workload = spec.workload
+    if workload is None or workload.kind == "none":
+        stack.sim.run()
+        metrics: Dict[str, object] = {}
+    elif workload.kind == "raw_fill_read":
+        metrics = _raw_workload(stack)
+    else:
+        metrics = _db_workload(stack)
+    metrics["sim_seconds"] = round(stack.sim.now, 9)
+    metrics["events_processed"] = stack.sim.events_processed
+    if stack.faults is not None:
+        metrics["media_ops"] = stack.faults.stats.media_ops
+        metrics["power_cuts"] = stack.faults.stats.power_cuts
+    return metrics
+
+
+def run_and_report(spec: StackSpec,
+                   name: Optional[str] = None) -> Dict[str, object]:
+    """``run_spec`` + the standard results files; returns the metrics."""
+    # Imported here: benchhelpers itself builds stacks from specs.
+    from repro.benchhelpers import report
+    metrics = run_spec(spec)
+    label = name or spec.name
+    lines = [f"Stack run: {label} (ftl={spec.ftl}, "
+             f"host={spec.resolved_host}, "
+             f"workload={spec.workload.kind if spec.workload else 'none'})"]
+    lines.extend(f"  {key:>18s} = {value}"
+                 for key, value in metrics.items())
+    report(label, lines, metrics=metrics)
+    return metrics

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ReproError
-from repro.lsm import BloomFilter, MemTable, RateLimiter, TOMBSTONE
+from repro.lsm import BloomFilter, MemTable, TOMBSTONE
+from repro.qos.tokenbucket import TokenBucket
 from repro.lsm.bloom import build_from_hashes, hash_key
 from repro.lsm.sstable import (
     SSTableBuilder,
@@ -192,9 +193,10 @@ def test_sstable_roundtrip_property(mapping):
 
 
 class TestRateLimiter:
+    """The LSM throttle is the qos TokenBucket, imported directly."""
     def test_unlimited_never_waits(self):
         sim = Simulator()
-        limiter = RateLimiter(sim, None)
+        limiter = TokenBucket(sim, None)
 
         def proc():
             yield from limiter.acquire_proc(10**9)
@@ -204,7 +206,7 @@ class TestRateLimiter:
 
     def test_rate_enforced(self):
         sim = Simulator()
-        limiter = RateLimiter(sim, rate_bytes_per_sec=1000, burst_bytes=100)
+        limiter = TokenBucket(sim, rate_bytes_per_sec=1000, burst_bytes=100)
 
         def proc():
             yield from limiter.acquire_proc(100)    # burst credit: free
@@ -216,7 +218,7 @@ class TestRateLimiter:
 
     def test_concurrent_acquirers_share_rate(self):
         sim = Simulator()
-        limiter = RateLimiter(sim, rate_bytes_per_sec=1000, burst_bytes=1)
+        limiter = TokenBucket(sim, rate_bytes_per_sec=1000, burst_bytes=1)
         done = []
 
         def proc(tag):
@@ -231,4 +233,4 @@ class TestRateLimiter:
 
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError):
-            RateLimiter(Simulator(), rate_bytes_per_sec=0)
+            TokenBucket(Simulator(), rate_bytes_per_sec=0)

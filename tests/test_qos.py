@@ -5,7 +5,6 @@ bypass, throttle x fault-injection interaction)."""
 import pytest
 
 from repro.faults import FaultInjector, FaultPlan
-from repro.lsm.ratelimiter import RateLimiter
 from repro.nand import FlashGeometry
 from repro.ocssd import (ChunkReset, CommandStatus, DeviceGeometry,
                          OpenChannelSSD, Ppa, VectorRead, VectorWrite)
@@ -79,8 +78,9 @@ def test_stream_seed_derivation():
 # -- token bucket (and its lsm alias) ----------------------------------------
 
 
-def test_ratelimiter_is_the_qos_token_bucket():
-    assert RateLimiter is TokenBucket
+def test_lsm_db_throttle_is_the_qos_token_bucket():
+    from repro.lsm import db
+    assert db.TokenBucket is TokenBucket
 
 
 def test_token_bucket_unlimited_never_waits():
