@@ -33,6 +33,7 @@ Run directly::
 from __future__ import annotations
 
 import argparse
+import gc
 import random
 import sys
 import time
@@ -52,6 +53,11 @@ from repro.stack import StackSpec, build_stack
 
 SECTOR = 4096
 REGRESSION_THRESHOLD = 0.30
+# Absolute ops/sec floors, gated alongside the relative check.  Set well
+# under the typical numbers on the reference box (macro ~20-22k, smoke
+# ~18-20k with the GC hygiene below) so only a real regression — not
+# machine noise — can trip them.
+ABSOLUTE_FLOORS = {"perf_macro": 14_000.0, "perf_smoke": 9_000.0}
 
 # Full-size run: the Figure 4 drive shape (8 groups x 4 PUs), ~97k data
 # sectors; fill ~37% with write-unit-sized (96 KB) transactions, then
@@ -59,10 +65,14 @@ REGRESSION_THRESHOLD = 0.30
 # write path: allocation, 24 mapping updates, WAL FUA batch, cache
 # admission, background flushers.
 MACRO = dict(name="perf_macro", groups=8, pus=4, chunks=64, pages=6,
-             wal_chunks=16, ckpt_chunks=4, fill_ops=1_500, read_ops=15_000)
+             wal_chunks=16, ckpt_chunks=4, fill_ops=1_500, read_ops=15_000,
+             qos=True, storm=(200, 250))
 # Tiny geometry for `make check` smoke runs and the pytest smoke test.
+# No qos here on purpose: the qos/obs guards use this config to price the
+# *detached* sidecar fast paths against benchmarks/results/perf_smoke.txt.
 SMOKE = dict(name="perf_smoke", groups=2, pus=2, chunks=16, pages=6,
-             wal_chunks=4, ckpt_chunks=2, fill_ops=40, read_ops=300)
+             wal_chunks=4, ckpt_chunks=2, fill_ops=40, read_ops=300,
+             storm=(20, 50))
 
 
 def stack_spec(cfg: dict, **overrides) -> StackSpec:
@@ -79,7 +89,15 @@ def stack_spec(cfg: dict, **overrides) -> StackSpec:
 
 
 def build_ftl(cfg: dict):
-    stack = build_stack(stack_spec(cfg))
+    overrides = {}
+    if cfg.get("qos"):
+        # One tenant, no rate cap: every command pays the full scheduler
+        # path (gate fast-grant, DRR on contention) so the recorded
+        # ops/sec prices the simulator *with* qos attached.
+        overrides["tenants"] = [{"name": "bench"}]
+    stack = build_stack(stack_spec(cfg, **overrides))
+    if cfg.get("qos"):
+        stack.media.tenant = stack.tenant("bench")
     return stack.device, stack.ftl
 
 
@@ -99,21 +117,32 @@ def run_macro(cfg: dict) -> dict:
     sim_before = sim.now
     unit = device.geometry.ws_min
 
-    started = time.perf_counter()
-    payload = bytes(unit * SECTOR)
-    for op in range(fill_ops):
-        ftl.write(op * unit, payload)
-    ftl.flush()
-    fill_wall = time.perf_counter() - started
+    # Cyclic-GC hygiene: a collection landing inside a timed phase used
+    # to swing ops/sec by ~25% run to run.  Collect up front, then keep
+    # the collector off while the clock runs (refcounting still frees
+    # the payload churn; the generator/event cycles are few).
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        payload = bytes(unit * SECTOR)
+        for op in range(fill_ops):
+            ftl.write(op * unit, payload)
+        ftl.flush()
+        fill_wall = time.perf_counter() - started
 
-    peak_map = ftl.page_map.memory_bytes()
-    peak_chunk = chunk_memory_bytes(device)
+        peak_map = ftl.page_map.memory_bytes()
+        peak_chunk = chunk_memory_bytes(device)
 
-    span = fill_ops * unit
-    started = time.perf_counter()
-    for __ in range(read_ops):
-        ftl.read(rng.randrange(span), 1)
-    read_wall = time.perf_counter() - started
+        span = fill_ops * unit
+        started = time.perf_counter()
+        for __ in range(read_ops):
+            ftl.read(rng.randrange(span), 1)
+        read_wall = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     peak_map = max(peak_map, ftl.page_map.memory_bytes())
     peak_chunk = max(peak_chunk, chunk_memory_bytes(device))
@@ -135,6 +164,8 @@ def run_macro(cfg: dict) -> dict:
         "ops_per_sec": round((fill_ops + read_ops) / total_wall, 1),
         "events_per_sec": round(
             (sim.events_processed - events_before) / total_wall, 1),
+        "kernel_events_per_sec": run_kernel_storm(*cfg.get("storm",
+                                                           (200, 250))),
         "sim_seconds": round(sim.now - sim_before, 6),
         "peak_map_bytes": peak_map,
         "peak_chunk_bytes": peak_chunk,
@@ -144,15 +175,57 @@ def run_macro(cfg: dict) -> dict:
     return registry.flat()
 
 
+def run_kernel_storm(procs: int = 200, waits: int = 250) -> float:
+    """Kernel-only microbench: events/sec through a bare :class:`Simulator`.
+
+    A synthetic storm — *procs* concurrent processes each sleeping *waits*
+    times with interleaving delays — exercises only the event engine
+    (calendar queue, timeout fast path, process resumption), no storage
+    stack.  The resulting ``kernel_events_per_sec`` separates "the
+    scheduler got slower" from "a storage layer got slower" in the
+    trajectory.
+    """
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def storm(step: float):
+        for __ in range(waits):
+            yield sim.timeout(step)
+
+    # Distinct, incommensurate-ish steps so buckets keep churning
+    # instead of degenerating into one shared trigger time.
+    done = sim.all_of([sim.spawn(storm(1.0 + index / procs))
+                       for index in range(procs)])
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        sim.run_until(done)
+        wall = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return round(sim.events_processed / wall, 1)
+
+
 def check_regression(name: str, metrics: dict,
                      path: str = TRAJECTORY_PATH) -> Optional[str]:
-    """Compare against the last committed entry of *name*; return an error
-    message on a >30 % ops/sec regression, else None."""
+    """Gate *metrics* against the trajectory: fails on a >30 % ops/sec
+    regression vs the last committed entry of *name*, or on missing the
+    absolute :data:`ABSOLUTE_FLOORS` floor for *name*.  Returns the error
+    message, or None when the gate passes.  Legacy entries without a
+    ``sha`` key still serve as baselines."""
+    current = metrics["ops_per_sec"]
+    floor = ABSOLUTE_FLOORS.get(name)
+    if floor is not None and current < floor:
+        return (f"{name}: ops/sec below the absolute floor: "
+                f"{current:.0f} vs floor {floor:.0f}")
     baseline = [e for e in load_trajectory(path) if e["name"] == name]
     if not baseline:
         return None
     reference = baseline[-1]["metrics"]["ops_per_sec"]
-    current = metrics["ops_per_sec"]
     if current < reference * (1.0 - REGRESSION_THRESHOLD):
         return (f"{name}: ops/sec regressed >{REGRESSION_THRESHOLD:.0%}: "
                 f"{current:.0f} vs committed baseline {reference:.0f}")
@@ -162,8 +235,8 @@ def check_regression(name: str, metrics: dict,
 def format_lines(name: str, metrics: dict) -> list:
     lines = [f"Perf trajectory: {name} (fillseq + readrandom over OX-Block)"]
     for key in ("fill_ops_per_sec", "read_ops_per_sec", "ops_per_sec",
-                "events_per_sec", "sim_seconds", "peak_map_bytes",
-                "peak_chunk_bytes"):
+                "events_per_sec", "kernel_events_per_sec", "sim_seconds",
+                "peak_map_bytes", "peak_chunk_bytes"):
         lines.append(f"  {key:>18s} = {metrics[key]}")
     return lines
 
@@ -233,10 +306,13 @@ def test_perf_trajectory_smoke(tmp_path):
     assert metrics["fill_ops_per_sec"] > 0
     assert metrics["read_ops_per_sec"] > 0
     assert metrics["events_processed"] > SMOKE["fill_ops"]
+    assert metrics["kernel_events_per_sec"] > 0
     assert metrics["peak_map_bytes"] > 0
     assert metrics["peak_chunk_bytes"] > 0
     path = tmp_path / "BENCH_perf.json"
-    append_trajectory(SMOKE["name"], metrics, str(path))
+    entry = append_trajectory(SMOKE["name"], metrics, str(path))
+    # Every new entry is keyed by the measured commit.
+    assert entry.get("sha")
     entries = load_trajectory(str(path))
     assert entries[-1]["name"] == SMOKE["name"]
     assert entries[-1]["metrics"]["ops_per_sec"] == metrics["ops_per_sec"]
@@ -245,6 +321,29 @@ def test_perf_trajectory_smoke(tmp_path):
     assert check_regression(SMOKE["name"],
                             {"ops_per_sec":
                              metrics["ops_per_sec"]}, str(path)) is None
+
+
+def test_regression_gate(tmp_path):
+    """Relative gate, absolute floor, and legacy-row (no sha) tolerance."""
+    import json
+
+    path = tmp_path / "BENCH_perf.json"
+    legacy = {"name": "perf_macro", "date": "2026-01-01",
+              "metrics": {"ops_per_sec": 30_000.0}}
+    path.write_text(json.dumps([legacy]))
+    # Healthy run: above the floor, within 30% of the legacy baseline.
+    assert check_regression("perf_macro", {"ops_per_sec": 25_000.0},
+                            str(path)) is None
+    # >30% drop vs the (sha-less) baseline entry.
+    assert "regressed" in check_regression(
+        "perf_macro", {"ops_per_sec": 15_000.0}, str(path))
+    # Below the absolute floor fails even with no baseline at all.
+    assert "floor" in check_regression(
+        "perf_macro", {"ops_per_sec": ABSOLUTE_FLOORS["perf_macro"] - 1},
+        str(tmp_path / "absent.json"))
+    # Unknown names have no floor and no baseline: gate passes.
+    assert check_regression("perf_other", {"ops_per_sec": 1.0},
+                            str(tmp_path / "absent.json")) is None
 
 
 if __name__ == "__main__":

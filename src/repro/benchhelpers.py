@@ -79,8 +79,8 @@ def report_json(name: str, metrics: Mapping[str, object]) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w") as handle:
-        json.dump(bench_entry(name, metrics), handle, indent=2,
-                  sort_keys=True)
+        json.dump(bench_entry(name, metrics, sha=git_sha()), handle,
+                  indent=2, sort_keys=True)
         handle.write("\n")
     return path
 
@@ -113,9 +113,13 @@ def load_trajectory(path: str = TRAJECTORY_PATH) -> List[dict]:
 def append_trajectory(name: str, metrics: Mapping[str, object],
                       path: str = TRAJECTORY_PATH,
                       sha: Optional[str] = None) -> dict:
-    """Append one entry to the perf trajectory file and return it."""
+    """Append one entry to the perf trajectory file and return it.
+
+    Every new entry is stamped with the measured commit's ``sha`` (the
+    current HEAD unless the caller passes one); legacy entries without
+    the key keep loading fine."""
     entries = load_trajectory(path)
-    entry = bench_entry(name, metrics, sha=sha)
+    entry = bench_entry(name, metrics, sha=sha or git_sha())
     entries.append(entry)
     with open(path, "w") as handle:
         json.dump(entries, handle, indent=2, sort_keys=True)

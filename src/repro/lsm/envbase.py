@@ -39,6 +39,18 @@ def pad_to_sectors(blob: bytes, sector_size: int,
     return sectors, blob.ljust(sectors * sector_size, b"\x00")
 
 
+def split_sectors(padded: bytes, sector_size: int) -> List[memoryview]:
+    """Zero-copy per-sector views of a sector-aligned blob.
+
+    The write paths hand these straight to the device, whose chunk store
+    copies them once into its slabs — so a meta blob or data block is
+    never duplicated sector-by-sector on the way down.
+    """
+    view = memoryview(padded)
+    return [view[at:at + sector_size]
+            for at in range(0, len(padded), sector_size)]
+
+
 class ManifestEnv(StorageEnv):
     """A storage env whose table visibility is governed by a MANIFEST.
 

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import OutOfSpaceError, ReproError
 from repro.lsm.env import SSTableHandle, SSTableWriter, StorageEnv
-from repro.lsm.envbase import WriteDispatcher, pad_to_sectors
+from repro.lsm.envbase import WriteDispatcher, pad_to_sectors, split_sectors
 from repro.ocssd.address import Ppa
 from repro.ocssd.chunk import ChunkState, pad_sector
 from repro.ox.media import MediaManager
@@ -451,8 +451,7 @@ class _LightLSMWriter(SSTableWriter):
                 f"table {layout.handle.sstable_id} overflows its chunks")
         ppas = [Ppa(*key, first_sector + i)
                 for i in range(layout.block_sectors)]
-        data = [block[i * sector_size:(i + 1) * sector_size]
-                for i in range(layout.block_sectors)]
+        data = split_sectors(block, sector_size)
         oob = [("sst", layout.handle.sstable_id, layout.handle.level,
                 layout.sequence, chunk_slot, len(layout.chunks))
                for __ in range(layout.block_sectors)]
@@ -488,8 +487,7 @@ class _LightLSMWriter(SSTableWriter):
         layout.meta_sectors = meta_sectors
         key = layout.meta_chunk
         ppas = [Ppa(*key, i) for i in range(meta_sectors)]
-        data = [padded[i * sector_size:(i + 1) * sector_size]
-                for i in range(meta_sectors)]
+        data = split_sectors(padded, sector_size)
         oob = [("sstmeta", layout.handle.sstable_id, i)
                for i in range(meta_sectors)]
         done = env.submit_write(ppas, data, oob)

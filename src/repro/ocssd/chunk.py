@@ -15,17 +15,23 @@ the *flushed* write pointer (sectors actually programmed to NAND).  A
 power/controller crash rolls the chunk back to its flushed pointer, which
 is what makes the FTL's write-ahead-log durability guarantees testable.
 
-Payloads live in one lazily-allocated ``bytearray`` per chunk; writes
-copy into it once and reads hand out :class:`memoryview` slices instead
-of allocating a bytes object per sector.  A validity bytearray tells a
+Payloads live in write-once *slabs*: one immutable ``bytes`` object per
+``ws_min`` write unit, built with a single ``b"".join`` when the unit is
+admitted.  Nothing is pre-zeroed — the old design's full-capacity
+``bytearray`` wrote every chunk's memory twice (zero-fill, then payload
+copy) and stalled first-write latency with multi-hundred-KB allocations.
+Reads hand out :class:`memoryview` slices into the slabs instead of
+allocating a bytes object per sector.  A validity bytearray tells a
 never-written (``None``) sector apart from written data, and a per-sector
 length array preserves exact short-payload round-trips (the simulated
 sector keeps its trailing undefined bytes out of sight, like a real
 drive whose host only DMAs the transferred length).  Sequential-write
 discipline makes the aliasing safe: a sector below the write pointer is
-never overwritten, and ``reset`` drops the buffer rather than zeroing
-it, so outstanding views keep reading the data that existed when they
-were created.
+never overwritten, and ``reset`` drops the slabs rather than zeroing
+them, so outstanding views keep reading the data that existed when they
+were created.  The one writer that can land *inside* a slab — a write
+resumed at a torn write pointer after a power cut — falls back to a
+mutable ``bytearray`` slab for exactly the units it touches.
 """
 
 from __future__ import annotations
@@ -40,6 +46,37 @@ import enum
 
 Payload = Union[bytes, bytearray, memoryview, None]
 
+# Shared zero-filled sectors for padding: the bytes are always *copied*
+# into a slab (or joined into a caller's buffer), so sharing is safe.
+_ZERO_CACHE: dict = {}
+# b"\x01" runs for bulk validity marking, keyed by run length.
+_ONES_CACHE: dict = {}
+# array("H", [sector_size] * count) templates for bulk length marking.
+_LENGTH_CACHE: dict = {}
+
+
+def _zeros(size: int) -> bytes:
+    blob = _ZERO_CACHE.get(size)
+    if blob is None:
+        blob = _ZERO_CACHE[size] = bytes(size)
+    return blob
+
+
+def _ones(count: int) -> bytes:
+    blob = _ONES_CACHE.get(count)
+    if blob is None:
+        blob = _ONES_CACHE[count] = b"\x01" * count
+    return blob
+
+
+def _full_lengths(sector_size: int, count: int) -> array:
+    key = (sector_size, count)
+    template = _LENGTH_CACHE.get(key)
+    if template is None:
+        template = _LENGTH_CACHE[key] = array(
+            "H", [sector_size]) * count
+    return template
+
 
 def pad_sector(payload: Payload, sector_size: int) -> Union[bytes,
                                                             memoryview]:
@@ -50,7 +87,7 @@ def pad_sector(payload: Payload, sector_size: int) -> Union[bytes,
     the caller's ``b"".join``.
     """
     if payload is None:
-        return bytes(sector_size)
+        return _zeros(sector_size)
     if len(payload) == sector_size:
         return payload
     return bytes(payload).ljust(sector_size, b"\x00")
@@ -76,7 +113,7 @@ class Chunk:
 
     __slots__ = ("address", "capacity", "ws_min", "sector_size", "state",
                  "write_pointer", "flushed_pointer", "wear_index",
-                 "_buffer", "_lengths", "_valid", "_oob")
+                 "_slabs", "_lengths", "_valid", "_oob")
 
     def __init__(self, address: Ppa, capacity: int, ws_min: int,
                  sector_size: int = 4096):
@@ -88,11 +125,11 @@ class Chunk:
         self.write_pointer = 0
         self.flushed_pointer = 0
         self.wear_index = 0          # erase cycles seen by this chunk
-        # Payload buffer and out-of-band metadata are allocated on first
+        # Payload slabs and out-of-band metadata are allocated on first
         # write so a large device with mostly-untouched chunks stays cheap.
         # OOB mirrors real flash: per-sector metadata FTL recovery scans
         # read.
-        self._buffer: Optional[bytearray] = None
+        self._slabs: Optional[List[Union[bytes, bytearray, None]]] = None
         self._lengths: Optional[array] = None
         self._valid: Optional[bytearray] = None
         self._oob: Optional[List[Optional[object]]] = None
@@ -100,12 +137,18 @@ class Chunk:
     # -- write path -----------------------------------------------------------
 
     def admit_write(self, sector: int, payloads: Sequence[Payload],
-                    oobs: Optional[List[object]] = None) -> None:
+                    oobs: Optional[List[object]] = None,
+                    whole: Optional[memoryview] = None) -> None:
         """Accept a sequential write of ``len(payloads)`` sectors at *sector*.
 
         Enforces the three §2.2 write rules: chunk must be writable, the
         write must land exactly on the write pointer, and its size must be a
         whole number of ``ws_min`` units.
+
+        *whole*, when given, is one contiguous buffer holding exactly the
+        same bytes as *payloads* over an immutable backing object; the
+        store then admits it as the unit's slab directly instead of
+        joining the per-sector pieces (zero-copy).
         """
         count = len(payloads)
         if self.state is _OFFLINE:
@@ -133,17 +176,64 @@ class Chunk:
                     f"payload of {len(payload)} bytes exceeds the "
                     f"{sector_size}-byte sector of {self.address}")
         self._ensure_storage()
-        buffer = self._buffer
+        slabs = self._slabs
         lengths = self._lengths
         valid = self._valid
-        offset = sector * sector_size
-        for index, payload in enumerate(payloads):
-            if payload is not None:
+        ws_min = self.ws_min
+        if sector % ws_min == 0:
+            # Aligned write (the only kind outside crash recovery): one
+            # immutable slab per ws_min unit, a single join, no zero-fill.
+            all_full = True
+            for payload in payloads:
+                if payload is None or len(payload) != sector_size:
+                    all_full = False
+                    break
+            if all_full:
+                if (whole is not None and count == ws_min
+                        and len(whole) == count * sector_size):
+                    slabs.append(whole)
+                else:
+                    for base in range(0, count, ws_min):
+                        slabs.append(b"".join(payloads[base:base + ws_min]))
+                valid[sector:sector + count] = _ones(count)
+                lengths[sector:sector + count] = _full_lengths(
+                    sector_size, count)
+            else:
+                for base in range(0, count, ws_min):
+                    slabs.append(b"".join(
+                        [pad_sector(payload, sector_size)
+                         for payload in payloads[base:base + ws_min]]))
+                for index, payload in enumerate(payloads):
+                    if payload is not None:
+                        lengths[sector + index] = len(payload)
+                        valid[sector + index] = 1
+        else:
+            # A write resumed at a torn (mid-unit) write pointer — only
+            # reachable after a power cut sheared a program — lands inside
+            # an existing slab.  Fall back to mutable bytearray slabs for
+            # exactly the units this write touches.  Trailing bytes of a
+            # short payload are never exposed: reads are bounded by the
+            # recorded per-sector length.
+            last_unit = (sector + count - 1) // ws_min
+            while len(slabs) <= last_unit:
+                slabs.append(None)
+            for index, payload in enumerate(payloads):
+                if payload is None:
+                    continue
+                at = sector + index
+                unit = at // ws_min
+                slab = slabs[unit]
+                if slab is None:
+                    slab = slabs[unit] = bytearray(ws_min * sector_size)
+                elif not isinstance(slab, bytearray):
+                    # Immutable slab (bytes, or a zero-copy admitted view):
+                    # materialize a private mutable copy before patching.
+                    slab = slabs[unit] = bytearray(slab)
+                offset = (at % ws_min) * sector_size
                 length = len(payload)
-                at = offset + index * sector_size
-                buffer[at:at + length] = payload
-                lengths[sector + index] = length
-                valid[sector + index] = 1
+                slab[offset:offset + length] = payload
+                lengths[at] = length
+                valid[at] = 1
         if oobs is not None:
             self._oob[sector:sector + count] = oobs
         self.write_pointer += count
@@ -161,8 +251,8 @@ class Chunk:
         self.flushed_pointer = up_to
 
     def _ensure_storage(self) -> None:
-        if self._buffer is None:
-            self._buffer = bytearray(self.capacity * self.sector_size)
+        if self._slabs is None:
+            self._slabs = []
             self._lengths = array("H", bytes(2 * self.capacity))
             self._valid = bytearray(self.capacity)
             self._oob = [None] * self.capacity
@@ -172,9 +262,9 @@ class Chunk:
     def read(self, sector: int, count: int = 1) -> List[Payload]:
         """Return the payloads of *count* sectors starting at *sector*.
 
-        Payloads come back as memoryviews into the chunk buffer (``None``
-        for sectors written without data); callers that need sector-sized
-        blobs pad them with :func:`pad_sector`.
+        Payloads come back as memoryviews into the chunk's slab store
+        (``None`` for sectors written without data); callers that need
+        sector-sized blobs pad them with :func:`pad_sector`.
 
         Reading at or above the write pointer is an error (undefined data on
         real flash).
@@ -187,15 +277,25 @@ class Chunk:
             raise WritePointerError(
                 f"read of sectors [{sector}, {sector + count}) above write "
                 f"pointer {self.write_pointer} in {self.address}")
-        view = memoryview(self._buffer)
         valid = self._valid
+        if count == 1:
+            # Single-sector fast path: device reads overwhelmingly ask for
+            # one sector at a time.
+            if not valid[sector]:
+                return [None]
+            at = (sector % self.ws_min) * self.sector_size
+            return [memoryview(self._slabs[sector // self.ws_min])
+                    [at:at + self._lengths[sector]]]
+        slabs = self._slabs
         lengths = self._lengths
         sector_size = self.sector_size
+        ws_min = self.ws_min
         result: List[Payload] = []
         for index in range(sector, sector + count):
             if valid[index]:
-                at = index * sector_size
-                result.append(view[at:at + lengths[index]])
+                at = (index % ws_min) * sector_size
+                result.append(memoryview(slabs[index // ws_min])
+                              [at:at + lengths[index]])
             else:
                 result.append(None)
         return result
@@ -218,7 +318,7 @@ class Chunk:
         self.write_pointer = 0
         self.flushed_pointer = 0
         self.wear_index += 1
-        self._buffer = None
+        self._slabs = None
         self._lengths = None
         self._valid = None
         self._oob = None
@@ -232,10 +332,18 @@ class Chunk:
         if self.state is _OFFLINE:
             return
         if self._valid is not None:
-            for sector in range(self.flushed_pointer, self.write_pointer):
-                self._valid[sector] = 0
-                self._lengths[sector] = 0
-                self._oob[sector] = None
+            flushed = self.flushed_pointer
+            dropped = self.write_pointer - flushed
+            if dropped > 0:
+                self._valid[flushed:flushed + dropped] = bytes(dropped)
+                self._lengths[flushed:flushed + dropped] = array(
+                    "H", bytes(2 * dropped))
+                self._oob[flushed:flushed + dropped] = [None] * dropped
+            # Free whole slabs above the flushed pointer; a slab torn
+            # mid-unit stays (its rolled-back sectors are already marked
+            # invalid above).
+            keep_units = -(-flushed // self.ws_min)
+            del self._slabs[keep_units:]
         self.write_pointer = self.flushed_pointer
         if self.write_pointer == 0:
             self.state = _FREE
@@ -255,10 +363,14 @@ class Chunk:
     def memory_bytes(self) -> int:
         """Approximate resident size of the payload store (perf metric)."""
         import sys
-        if self._buffer is None:
+        if self._slabs is None:
             return 0
-        return (sys.getsizeof(self._buffer) + sys.getsizeof(self._lengths) +
-                sys.getsizeof(self._valid) + sys.getsizeof(self._oob))
+        total = (sys.getsizeof(self._slabs) + sys.getsizeof(self._lengths) +
+                 sys.getsizeof(self._valid) + sys.getsizeof(self._oob))
+        for slab in self._slabs:
+            if slab is not None:
+                total += sys.getsizeof(slab)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Chunk {self.address} {self.state.value} "

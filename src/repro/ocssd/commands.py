@@ -46,6 +46,10 @@ class VectorWrite:
     fua: bool = False
     #: Originating tenant (repro.qos); None for infrastructure I/O.
     tenant: Optional["TenantContext"] = None
+    #: Optional contiguous view over the same bytes as ``data`` (one
+    #: whole write unit on an immutable buffer): lets the chunk store
+    #: admit the unit zero-copy.  Purely an optimization hint.
+    whole: Optional[memoryview] = None
 
     def __post_init__(self) -> None:
         if len(self.ppas) != len(self.data):

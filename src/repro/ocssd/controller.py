@@ -153,7 +153,7 @@ class Controller:
         obs = self.obs
         qos = self.qos
 
-        if qos is not None:
+        if qos is not None and not qos.try_channel_acquire(tenant, key[0]):
             # Throttle + scheduler gate; once this returns, the gate
             # guarantees the channel Resource below is free.
             yield from qos.channel_acquire_proc(tenant, "write", key[0],
@@ -376,7 +376,7 @@ class Controller:
                 lock.release()
 
         num_bytes = sectors * self.geometry.sector_size
-        if qos is not None:
+        if qos is not None and not qos.try_channel_acquire(tenant, key[0]):
             yield from qos.channel_acquire_proc(tenant, "read", key[0],
                                                 num_bytes)
         if not channel.try_acquire():

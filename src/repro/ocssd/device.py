@@ -284,7 +284,19 @@ class OpenChannelSSD:
         return runs
 
     def _do_write(self, command: VectorWrite, span=None):
-        runs = self._split_runs(command.ppas)
+        ppas = command.ppas
+        whole = command.whole
+        first = ppas[0]
+        last = ppas[-1]
+        if (whole is not None and first[:3] == last[:3]
+                and last[3] - first[3] == len(ppas) - 1):
+            # A staged whole-unit write is one chunk-contiguous run by
+            # construction; skip the splitter's per-address scan.
+            self.geometry.check(first)
+            runs = [(self.chunks[first[:3]], first[3], len(ppas), 0)]
+        else:
+            runs = self._split_runs(ppas)
+            whole = whole if len(runs) == 1 else None
         # Admission is synchronous and in vector order: write pointers
         # advance and payloads become readable before the timed transfer —
         # the semantics of a controller that buffers on arrival.  A
@@ -294,7 +306,7 @@ class OpenChannelSSD:
             payloads = command.data[offset:offset + count]
             oobs = (command.oob[offset:offset + count]
                     if command.oob is not None else None)
-            chunk.admit_write(first_sector, payloads, oobs)
+            chunk.admit_write(first_sector, payloads, oobs, whole=whole)
         tenant = command.tenant
         if len(runs) == 1:
             # Single-run vectors dominate; drive the controller inline
@@ -316,8 +328,45 @@ class OpenChannelSSD:
         return Completion(status=_WRITE_FAILED,
                           error="program failure (see notifications)")
 
+    def read_single_proc(self, ppa: Ppa, tenant=None):
+        """Process generator: the one-sector read fast lane.
+
+        Semantically ``submit(VectorRead(ppas=[ppa], tenant=...))`` for a
+        powered device, minus the command/Completion objects and the
+        dispatch frames — random point reads dominate every read-heavy
+        workload, so the FTL drives this lane when no tracing is
+        attached.  Returns the one-element payload list, or ``None`` on
+        any failure (power loss, uncorrectable read) — callers retry or
+        surface the error exactly as they would a failed Completion.
+        """
+        faults = self.faults
+        if faults is not None and not faults.powered:
+            return None
+        self.geometry.check(ppa)
+        try:
+            return (yield from self.controller.read_run(
+                self.chunks[ppa[:3]], ppa[3], 1, tenant=tenant))
+        except MediaError:
+            return None
+
     def _do_read(self, command: VectorRead, span=None):
-        runs = self._split_runs(command.ppas)
+        ppas = command.ppas
+        if len(ppas) == 1:
+            # Point reads dominate random workloads: skip the run
+            # splitter and the result-scatter lists entirely.
+            ppa = ppas[0]
+            self.geometry.check(ppa)
+            chunk = self.chunks[ppa[:3]]
+            sector = ppa[3]
+            try:
+                payloads = yield from self.controller.read_run(
+                    chunk, sector, 1, span=span, tenant=command.tenant)
+            except MediaError as exc:
+                return Completion(status=_READ_FAILED, data=[None],
+                                  oob=[None], error=str(exc))
+            return Completion(status=_OK, data=payloads,
+                              oob=chunk.read_oob(sector, 1))
+        runs = self._split_runs(ppas)
         data: List[Optional[bytes]] = [None] * len(command.ppas)
         oob: List[Optional[object]] = [None] * len(command.ppas)
         failures: List[str] = []

@@ -57,6 +57,9 @@ class BlockConfig:
     gc_headroom_chunks: int = 1
     replay_cpu_per_record: float = 2e-6
     wal_pressure_threshold: float = 0.6   # force a checkpoint beyond this
+    #: Vector backend for the page map's bulk snapshot paths:
+    #: "array" (stdlib, default) or "numpy" (errors if not installed).
+    map_backend: str = "array"
 
 
 @dataclass
@@ -142,7 +145,7 @@ class OXBlock:
         layout = MetadataLayout.build(
             media.geometry, wal_chunk_count=config.wal_chunk_count,
             ckpt_chunks_per_slot=config.ckpt_chunks_per_slot)
-        page_map = PageMap()
+        page_map = PageMap(backend=config.map_backend)
         chunk_table = ChunkTable(media.geometry,
                                  iter(layout.data_chunk_keys()))
         provisioner = Provisioner(media.geometry, chunk_table)
@@ -167,7 +170,8 @@ class OXBlock:
             ckpt_chunks_per_slot=config.ckpt_chunks_per_slot)
         state = sim.run_until(sim.spawn(recover_proc(
             media, layout,
-            replay_cpu_per_record=config.replay_cpu_per_record)))
+            replay_cpu_per_record=config.replay_cpu_per_record,
+            map_backend=config.map_backend)))
         ftl = cls(media, config, layout, state.page_map, state.chunk_table,
                   state.provisioner, next_txn_id=state.next_txn_id,
                   epoch=state.epoch)
@@ -251,45 +255,74 @@ class OXBlock:
             # Stage memoryview slices: the chunk store makes the single
             # copy of each sector, when the unit write reaches the device.
             view = memoryview(data)
-            allocate = self.provisioner.allocate_sector
-            stage = self.buffer.stage
-            linearize = self.geometry.linearize
-            update = self.page_map.update
-            add_valid = self.chunk_table.add_valid
-            for index in range(count):
-                try:
-                    # Space was ensured above and the lock is held with no
-                    # yields since, so this cannot run dry; the handler is
-                    # insurance against accounting drift.
-                    ppa = allocate("user")
-                except OutOfSpaceError:
-                    # The txn dies before its WAL append: unwind the
-                    # map/table mutations of the sectors already staged,
-                    # or a later checkpoint would persist a torn
-                    # transaction that was never acknowledged.
-                    self._unwind_partial_txn(entries)
-                    # Units the loop already completed left the buffer;
-                    # they must still reach the device (as dead data) or
-                    # the chunk write pointer falls behind the
-                    # allocation cursor for good.
-                    if completed_units:
-                        yield self.sim.all_of(
-                            [self.sim.spawn(self._write_unit_proc(u, span))
-                             for u in completed_units])
-                    raise
-                cur = lba + index
-                payload = view[index * sector_size:(index + 1) * sector_size]
-                unit = stage(cur, ppa, payload)
-                linear = linearize(ppa)
-                previous = update(cur, linear)
-                add_valid(ppa.chunk_key())
-                if previous is not None:
-                    self.chunk_table.invalidate(
-                        self.geometry.delinearize(previous).chunk_key())
-                entries.append((cur, linear,
-                                previous if previous is not None else NO_PPA))
-                if unit is not None:
-                    completed_units.append(unit)
+            ws_min = self.geometry.ws_min
+            if (count == ws_min
+                    and self.provisioner.current_unit_remaining("user")
+                    == 0):
+                # A whole-unit transaction landing on a fresh unit (the
+                # fill-heavy common shape): one allocation, one buffer
+                # call, one mapping-run update instead of ws_min scalar
+                # rounds.  Identical staged state to the loop below.
+                key, first = self.provisioner.allocate_unit("user")
+                group, pu, chunk_no = key
+                ppas = [Ppa(group, pu, chunk_no, first + index)
+                        for index in range(count)]
+                completed_units.append(
+                    self.buffer.stage_unit(lba, ppas, view,
+                                           immutable=type(data) is bytes))
+                linear0 = self.geometry.linearize(ppas[0])
+                previous_run = self.page_map.update_run(lba, linear0, count)
+                self.chunk_table.add_valid(key, count)
+                for index in range(count):
+                    previous = previous_run[index]
+                    if previous < 0:      # was unmapped
+                        entries.append((lba + index, linear0 + index,
+                                        NO_PPA))
+                    else:
+                        self.chunk_table.invalidate(
+                            self.geometry.delinearize(previous).chunk_key())
+                        entries.append((lba + index, linear0 + index,
+                                        previous))
+            else:
+                allocate = self.provisioner.allocate_sector
+                stage = self.buffer.stage
+                linearize = self.geometry.linearize
+                update = self.page_map.update
+                add_valid = self.chunk_table.add_valid
+                for index in range(count):
+                    try:
+                        # Space was ensured above and the lock is held with no
+                        # yields since, so this cannot run dry; the handler is
+                        # insurance against accounting drift.
+                        ppa = allocate("user")
+                    except OutOfSpaceError:
+                        # The txn dies before its WAL append: unwind the
+                        # map/table mutations of the sectors already staged,
+                        # or a later checkpoint would persist a torn
+                        # transaction that was never acknowledged.
+                        self._unwind_partial_txn(entries)
+                        # Units the loop already completed left the buffer;
+                        # they must still reach the device (as dead data) or
+                        # the chunk write pointer falls behind the
+                        # allocation cursor for good.
+                        if completed_units:
+                            yield self.sim.all_of(
+                                [self.sim.spawn(self._write_unit_proc(u, span))
+                                 for u in completed_units])
+                        raise
+                    cur = lba + index
+                    payload = view[index * sector_size:(index + 1) * sector_size]
+                    unit = stage(cur, ppa, payload)
+                    linear = linearize(ppa)
+                    previous = update(cur, linear)
+                    add_valid(ppa.chunk_key())
+                    if previous is not None:
+                        self.chunk_table.invalidate(
+                            self.geometry.delinearize(previous).chunk_key())
+                    entries.append((cur, linear,
+                                    previous if previous is not None else NO_PPA))
+                    if unit is not None:
+                        completed_units.append(unit)
             unit_procs = [self.sim.spawn(self._write_unit_proc(unit, span))
                           for unit in completed_units]
             self.wal.append_map_update(txn_id, entries)
@@ -338,12 +371,50 @@ class OXBlock:
         if sectors < 1:
             raise FTLError(f"read of {sectors} sectors")
         sector_size = self.geometry.sector_size
-        pieces: List[Optional[bytes]] = [None] * sectors
         obs = self.obs
         span = None
         if obs is not None:
             span = obs.begin("ftl", "read")
             op_started = self.sim.now
+        if sectors == 1:
+            # The dominant shape (random point reads): same lookup order
+            # and retry policy as the vector loop below, minus the
+            # per-attempt list building.  With no tracing attached the
+            # media round-trip takes the device's fused single-sector
+            # lane (no command/Completion objects).
+            piece = None
+            for attempt in range(3):
+                buffered = self.buffer.lookup(lba)
+                if buffered is not None:
+                    piece = pad_sector(buffered, sector_size)
+                    break
+                linear = self.page_map.lookup(lba)
+                if linear is None:
+                    piece = b"\x00" * sector_size
+                    break
+                if obs is None:
+                    payloads = yield from self.media.read_single_proc(
+                        self.geometry.delinearize(linear))
+                    if payloads is not None:
+                        piece = pad_sector(payloads[0], sector_size)
+                        break
+                else:
+                    completion = yield from self.media.read_proc(
+                        [self.geometry.delinearize(linear)], parent=span)
+                    if completion.ok:
+                        piece = pad_sector(completion.data[0], sector_size)
+                        break
+                # Racing relocation/reset: retry against the fresh mapping.
+            else:
+                raise FTLError(f"read at lba {lba} kept racing relocation")
+            self.stats.reads += 1
+            self.stats.sectors_read += 1
+            if obs is not None:
+                obs.end(span, sectors=1)
+                obs.metrics.histogram("ftl.read.latency_s").record(
+                    self.sim.now - op_started)
+            return piece if type(piece) is bytes else bytes(piece)
+        pieces: List[Optional[bytes]] = [None] * sectors
         for attempt in range(3):
             missing: List[Tuple[int, Ppa]] = []
             for index in range(sectors):
@@ -536,7 +607,8 @@ class OXBlock:
 
     def _write_unit_proc(self, unit: PendingUnit, parent=None):
         completion = yield from self.media.write_proc(
-            unit.ppas, unit.data, oob=list(unit.lbas), parent=parent)
+            unit.ppas, unit.data, oob=list(unit.lbas), parent=parent,
+            whole=unit.whole)
         self.media.require_ok(completion, "data unit write")
         self.buffer.mark_written(unit)
 

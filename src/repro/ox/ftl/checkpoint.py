@@ -66,13 +66,14 @@ class CheckpointManager:
         snapshot must be consistent with the WAL truncation that follows.
         """
         records: List[bytes] = []
-        map_flat = page_map.snapshot_flat()
+        map_packed = page_map.snapshot_packed()
         chunk_snapshot = chunk_table.snapshot()
-        records.extend(serial.split_ckpt_map_flat(map_flat, self.sector_size))
+        records.extend(serial.split_ckpt_map_packed(map_packed,
+                                                    self.sector_size))
         records.extend(serial.split_ckpt_chunk(chunk_snapshot,
                                                self.sector_size))
         yield from self.write_payload_proc(seq, next_txn_id, records,
-                                           map_entries=len(map_flat) // 2,
+                                           map_entries=len(map_packed) // 16,
                                            chunk_entries=len(chunk_snapshot))
         page_map.mark_clean()
 

@@ -27,13 +27,45 @@ DENSE_LIMIT = 1 << 24
 
 _UNMAPPED = -1
 
+# Shared 0..n-1 ramp for snapshot interleaving: slicing a cached array
+# is a memcpy, versus boxing every index when building from range().
+_IOTA_CACHE = array("q")
+
+
+def _iota(count: int) -> array:
+    if len(_IOTA_CACHE) < count:
+        _IOTA_CACHE.extend(range(len(_IOTA_CACHE), count))
+    return _IOTA_CACHE[:count]
+
+
+#: Vector backends for the bulk snapshot paths.  Scalar lookups/updates
+#: always use the plain ``array('q')`` table (numpy scalar indexing is
+#: slower, not faster); the backend only changes how snapshots are
+#: interleaved and serialized.
+VECTOR_BACKENDS = ("array", "numpy")
+
 
 class PageMap:
     """LBA -> linear PPA map with segment-level dirty tracking."""
 
-    def __init__(self, segment_size: int = 1024):
+    def __init__(self, segment_size: int = 1024, backend: str = "array"):
         if segment_size < 1:
             raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+        if backend not in VECTOR_BACKENDS:
+            from repro.errors import ReproError
+            raise ReproError(f"unknown vector backend {backend!r}; "
+                             f"expected one of {VECTOR_BACKENDS}")
+        self._np = None
+        if backend == "numpy":
+            try:
+                import numpy
+            except ImportError:
+                from repro.errors import ReproError
+                raise ReproError(
+                    "vector_backend 'numpy' requires numpy, which is not "
+                    "installed; use the default 'array' backend") from None
+            self._np = numpy
+        self.backend = backend
         self.segment_size = segment_size
         self._table = array("q")
         self._dirty = bytearray()       # one flag per dense segment
@@ -84,6 +116,40 @@ class PageMap:
         previous = self._sparse.get(lba)
         self._sparse[lba] = ppa
         self._sparse_dirty.add(lba // self.segment_size)
+        return previous
+
+    def update_run(self, lba: int, ppa0: int, count: int) -> array:
+        """Bulk :meth:`update` of *count* LBAs mapped to the contiguous
+        linear run starting at *ppa0* (a whole write unit, typically).
+
+        Returns the previous linear PPAs as an ``array('q')`` with
+        :data:`_UNMAPPED` (-1) for previously-unmapped slots — callers
+        use it to invalidate overwritten chunks and to build WAL
+        entries, exactly as they would the scalar return values.
+        """
+        end = lba + count
+        if lba < 0 or end > DENSE_LIMIT:
+            previous = array("q")
+            for index in range(count):
+                old = self.update(lba + index, ppa0 + index)
+                previous.append(_UNMAPPED if old is None else old)
+            return previous
+        table = self._table
+        if end > len(table):
+            self._grow(end - 1)
+            table = self._table
+        previous = table[lba:end]
+        table[lba:end] = array("q", range(ppa0, ppa0 + count))
+        segment_size = self.segment_size
+        dirty = self._dirty
+        for segment in range(lba // segment_size,
+                             (end - 1) // segment_size + 1):
+            if not dirty[segment]:
+                dirty[segment] = 1
+                self._dirty_count += 1
+        if end - 1 > self._max_lba:
+            self._max_lba = end - 1
+        self._count += previous.count(_UNMAPPED)
         return previous
 
     def remove(self, lba: int) -> Optional[int]:
@@ -182,6 +248,39 @@ class PageMap:
             return flat
         from itertools import chain
         return list(chain.from_iterable(self.snapshot()))
+
+    def snapshot_packed(self) -> bytes:
+        """:meth:`snapshot_flat` packed to little-endian ``<QQ`` bytes.
+
+        Byte-identical to ``struct.Struct("<QQ" * n).pack(*snapshot_flat())``
+        — LBAs and PPAs are non-negative and below 2**63, so the signed
+        ``array('q')`` buffer reads back the same bytes as unsigned ``Q``.
+        The prefix-dense case interleaves with two C-level slice assignments
+        (or two numpy column stores under the ``numpy`` backend) and
+        serializes with one ``tobytes``; the checkpoint encoder then slices
+        records out of the blob without ever touching per-entry ints.
+        """
+        np = self._np
+        dense = not self._sparse and self._count == self._max_lba + 1
+        if np is not None and dense:
+            count = self._count
+            out = np.empty((count, 2), dtype="<i8")
+            out[:, 0] = np.arange(count)
+            out[:, 1] = np.frombuffer(self._table, dtype=np.int64,
+                                      count=count)
+            return out.tobytes()
+        import sys
+        if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+            flat = self.snapshot_flat()
+            from repro.ox.ftl.serial import _batch
+            return _batch("QQ", len(flat) // 2).pack(*flat)
+        if dense:
+            count = self._count
+            packed = array("q", bytes(16 * count))
+            packed[0::2] = _iota(count)
+            packed[1::2] = self._table[:count]
+            return packed.tobytes()
+        return array("q", self.snapshot_flat()).tobytes()
 
     def memory_bytes(self) -> int:
         """Approximate resident size of the table (perf harness metric)."""

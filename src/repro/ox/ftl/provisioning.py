@@ -106,11 +106,18 @@ class Provisioner:
         # live data into (the rationale Lomet & Luo give for reserving
         # reclamation space in log-structured stores).
         self.gc_headroom = gc_headroom
+        self._all_pus: List[PuKey] = list(geometry.iter_pus())
         self._free: Dict[PuKey, deque[ChunkKey]] = {
-            pu: deque() for pu in geometry.iter_pus()}
+            pu: deque() for pu in self._all_pus}
+        # Running per-group totals of the deques above: the write path
+        # checks headroom on every transaction, so these counters replace
+        # a scan over all PUs with a dict lookup.
+        self._group_free_count: Dict[int, int] = {
+            group: 0 for group in range(geometry.num_groups)}
         for key, info in sorted(table.items()):
             if info.state is FtlChunkState.FREE:
                 self._free[(key[0], key[1])].append(key)
+                self._group_free_count[key[0]] += 1
         self._streams: Dict[str, _StreamState] = {}
 
     # -- stream helpers ---------------------------------------------------------
@@ -122,8 +129,8 @@ class Provisioner:
 
     def _pu_cycle(self, state: _StreamState,
                   group: Optional[int]) -> List[PuKey]:
-        pus = [pu for pu in self.geometry.iter_pus()
-               if group is None or pu[0] == group]
+        pus = (self._all_pus if group is None
+               else [pu for pu in self._all_pus if pu[0] == group])
         start = state.pu_index % len(pus)
         state.pu_index += 1
         return pus[start:] + pus[:start]
@@ -148,6 +155,7 @@ class Provisioner:
                 if headroom and self._group_free(pu[0]) <= headroom:
                     continue      # reserved for GC relocation
                 key = self._free[pu].popleft()
+                self._group_free_count[pu[0]] -= 1
                 info = self.table.get(key)
                 info.state = FtlChunkState.OPEN
                 info.write_next = 0
@@ -198,6 +206,7 @@ class Provisioner:
         info.state = FtlChunkState.FREE
         info.write_next = 0
         self._free[(key[0], key[1])].append(key)
+        self._group_free_count[key[0]] += 1
 
     def retire_chunk(self, key: ChunkKey) -> None:
         """Drop a chunk that went offline (grown bad block)."""
@@ -213,11 +222,10 @@ class Provisioner:
     # -- occupancy --------------------------------------------------------------------
 
     def free_chunks(self) -> int:
-        return sum(len(queue) for queue in self._free.values())
+        return sum(self._group_free_count.values())
 
     def _group_free(self, group: int) -> int:
-        return sum(len(queue) for pu, queue in self._free.items()
-                   if pu[0] == group)
+        return self._group_free_count.get(group, 0)
 
     def units_available(self, stream: str = "user",
                         group: Optional[int] = None) -> int:

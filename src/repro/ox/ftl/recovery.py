@@ -62,7 +62,8 @@ class RecoveredState:
 
 
 def recover_proc(media: MediaManager, layout: MetadataLayout,
-                 replay_cpu_per_record: float = 2e-6):
+                 replay_cpu_per_record: float = 2e-6,
+                 map_backend: str = "array"):
     """Process generator: rebuild FTL state from media; returns
     :class:`RecoveredState`."""
     sim = media.sim
@@ -73,7 +74,7 @@ def recover_proc(media: MediaManager, layout: MetadataLayout,
     # 1. Checkpoint.
     ckpt = CheckpointManager(media, layout.ckpt_slots)
     snapshot = yield from ckpt.read_latest_proc()
-    page_map = PageMap()
+    page_map = PageMap(backend=map_backend)
     chunk_table = ChunkTable(geometry, iter(layout.data_chunk_keys()))
     epoch = 0
     next_txn_id = 1

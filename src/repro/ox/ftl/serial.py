@@ -280,6 +280,17 @@ def split_ckpt_map_flat(flat: Sequence[int], sector_size: int) -> List[bytes]:
             for i in range(0, len(flat), step)]
 
 
+def split_ckpt_map_packed(packed: bytes, sector_size: int) -> List[bytes]:
+    """:func:`split_ckpt_map_flat` over pre-packed ``<QQ`` entry bytes
+    (:meth:`PageMap.snapshot_packed`) — record bodies are byte slices of
+    the blob, so the checkpoint hot path never materializes per-entry
+    integers at all.  Byte-identical to the flat variant."""
+    capacity = sector_size - _FRAME_HEADER.size - _RECORD_HEADER.size
+    step = max(1, capacity // _CKPT_MAP_ENTRY.size) * _CKPT_MAP_ENTRY.size
+    return [encode_record(REC_CKPT_MAP, packed[i:i + step])
+            for i in range(0, len(packed), step)]
+
+
 def split_ckpt_chunk(entries: Sequence[Tuple[int, int, int]],
                      sector_size: int) -> List[bytes]:
     capacity = sector_size - _FRAME_HEADER.size - _RECORD_HEADER.size

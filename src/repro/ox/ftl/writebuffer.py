@@ -32,6 +32,9 @@ class PendingUnit:
     ppas: List[Ppa] = field(default_factory=list)
     data: List[bytes] = field(default_factory=list)
     lbas: List[int] = field(default_factory=list)
+    #: Contiguous view of the whole unit's payload when it was staged in
+    #: one piece over an immutable buffer (zero-copy admission hint).
+    whole: Optional[memoryview] = None
 
 
 class WriteBuffer:
@@ -80,6 +83,37 @@ class WriteBuffer:
             del self._units[slot]
             return unit
         return None
+
+    def stage_unit(self, lba0: int, ppas: List[Ppa], view: memoryview,
+                   immutable: bool = False) -> PendingUnit:
+        """Stage one whole, freshly-allocated write unit in a single call.
+
+        The fused twin of ``ws_min`` successive :meth:`stage` calls for a
+        unit-aligned PPA run backed by contiguous LBAs: *view* holds
+        ``ws_min`` sectors of payload, ``ppas[i]`` receives sector ``i``.
+        Returns the completed unit (it never passes through the partial
+        table).
+        """
+        count = len(ppas)
+        first = ppas[0][3]
+        if count != self.ws_min or first % self.ws_min:
+            raise FTLError(
+                f"stage_unit needs a whole aligned unit, got {count} "
+                f"sectors at {first}")
+        sector_size = self.sector_size
+        data = [view[index * sector_size:(index + 1) * sector_size]
+                for index in range(count)]
+        unit = PendingUnit(key=ppas[0][:3], first_sector=first, ppas=ppas,
+                           data=data,
+                           lbas=list(range(lba0, lba0 + count)),
+                           whole=view if immutable else None)
+        sequence = self._sequence
+        readable = self._readable
+        for index, payload in enumerate(data):
+            sequence += 1
+            readable[lba0 + index] = (sequence, payload)
+        self._sequence = sequence
+        return unit
 
     def partial_units(self) -> List[PendingUnit]:
         """The units still being assembled (for forced flush padding)."""

@@ -59,15 +59,20 @@ class MediaManager:
 
     def write_proc(self, ppas: List[Ppa], data: List[Optional[bytes]],
                    oob: Optional[List[object]] = None, fua: bool = False,
-                   parent=None):
+                   parent=None, whole: Optional[memoryview] = None):
         return self.device.submit(
             VectorWrite(ppas=ppas, data=data, oob=oob, fua=fua,
-                        tenant=self.tenant),
+                        tenant=self.tenant, whole=whole),
             parent=parent)
 
     def read_proc(self, ppas: List[Ppa], parent=None):
         return self.device.submit(VectorRead(ppas=ppas, tenant=self.tenant),
                                   parent=parent)
+
+    def read_single_proc(self, ppa: Ppa):
+        """One-sector read fast lane; see
+        :meth:`repro.ocssd.OpenChannelSSD.read_single_proc`."""
+        return self.device.read_single_proc(ppa, tenant=self.tenant)
 
     def reset_proc(self, ppa: Ppa, parent=None):
         return self.device.submit(ChunkReset(ppa=ppa, tenant=self.tenant),

@@ -68,6 +68,13 @@ class QosConfig:
     erase_priority: int = 1
     #: Serve a flow regardless of deficit after this many unserved visits.
     starvation_rounds: int = 64
+    #: One DRR sweep approves up to this many grants at once; later
+    #: releases hand the channel over in O(1) from the approved backlog
+    #: instead of re-running deficit/aging bookkeeping per command.  The
+    #: grant *order* is the order repeated single-grant sweeps would
+    #: produce; only arrivals newer than the sweep wait for the next
+    #: burst (reads still preempt any approved write backlog).
+    burst_grants: int = 8
     #: Background work yields while ``backlog() >= bg_backlog_threshold``...
     bg_backlog_threshold: int = 1
     #: ...sleeping this long per yield...
@@ -124,14 +131,21 @@ class _ClassQueue:
 
 
 class _Gate:
-    """Admission state of one channel: at most one holder at a time."""
+    """Admission state of one channel: at most one holder at a time.
 
-    __slots__ = ("busy", "read", "write")
+    ``approved_read``/``approved_write`` hold requests a DRR sweep has
+    already ordered for service; they count as waiting (for backlog and
+    the fast-path test) until the grant actually fires.
+    """
+
+    __slots__ = ("busy", "read", "write", "approved_read", "approved_write")
 
     def __init__(self):
         self.busy = False
         self.read = _ClassQueue()
         self.write = _ClassQueue()
+        self.approved_read: deque = deque()
+        self.approved_write: deque = deque()
 
 
 class QosScheduler(Sidecar):
@@ -181,6 +195,30 @@ class QosScheduler(Sidecar):
         return tenant
 
     # -- channel admission --------------------------------------------------
+
+    def try_channel_acquire(self, tenant: Optional[TenantContext],
+                            group: int) -> bool:
+        """Non-blocking twin of :meth:`channel_acquire_proc`'s fast path.
+
+        Grants the gate synchronously when the tenant is unthrottled and
+        the channel is idle with empty queues (the uncontended common
+        case), sparing the caller a generator round-trip.  Returns False
+        with no side effects when the full path must run instead.
+        """
+        if tenant is None:
+            tenant = SYSTEM_TENANT
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and bucket.rate is not None:
+            return False
+        gate = self._gates.get(group)
+        if gate is None:
+            gate = self._gates[group] = _Gate()
+        if (not gate.busy and not gate.read.waiting
+                and not gate.write.waiting):
+            gate.busy = True
+            self.fast_grants += 1
+            return True
+        return False
 
     def channel_acquire_proc(self, tenant: Optional[TenantContext],
                              kind: str, group: int, num_bytes: int):
@@ -251,9 +289,7 @@ class QosScheduler(Sidecar):
         gate = self._gates.get(group)
         if gate is None or not gate.busy:
             return
-        pending = self._drr_pop(gate.read)
-        if pending is None:
-            pending = self._drr_pop(gate.write)
+        pending = self._next_grant(gate)
         if pending is None:
             gate.busy = False
             return
@@ -267,6 +303,25 @@ class QosScheduler(Sidecar):
                 self._waiting_total)
         pending.event.succeed()
 
+    def _next_grant(self, gate: _Gate) -> Optional[_Pending]:
+        """The next request to own the channel, or None if all queues are
+        idle.  Reads first: an approved write backlog never outranks a
+        queued read, so strict read priority survives batching."""
+        for cq, approved in ((gate.read, gate.approved_read),
+                             (gate.write, gate.approved_write)):
+            while True:
+                while approved:
+                    head = approved.popleft()
+                    if not head.cancelled:
+                        cq.waiting -= 1
+                        return head
+                if cq.waiting and cq.order:
+                    self._drr_burst(cq, approved)
+                    if approved:
+                        continue
+                break
+        return None
+
     def _abandon(self, group: int, pending: _Pending, event: Event) -> None:
         """An interrupted waiter hands its (possibly granted) slot back."""
         if event.triggered:
@@ -274,7 +329,12 @@ class QosScheduler(Sidecar):
         elif not pending.cancelled:
             pending.cancelled = True
             gate = self._gates[group]
-            for cq in (gate.read, gate.write):
+            for cq, approved in ((gate.read, gate.approved_read),
+                                 (gate.write, gate.approved_write)):
+                if pending in approved:
+                    cq.waiting -= 1
+                    self._waiting_total -= 1
+                    return
                 for flow in cq.flows.values():
                     if pending in flow.queue:
                         cq.waiting -= 1
@@ -283,11 +343,20 @@ class QosScheduler(Sidecar):
 
     # -- deficit round robin ------------------------------------------------
 
-    def _drr_pop(self, cq: _ClassQueue) -> Optional[_Pending]:
-        """Serve one request from *cq* per DRR, or None if it is empty."""
+    def _drr_burst(self, cq: _ClassQueue, approved: deque) -> None:
+        """One DRR sweep approving up to ``burst_grants`` requests.
+
+        Emits grants into *approved* in exactly the order repeated
+        single-grant sweeps would serve them — a flow burst-serves its
+        head requests while its deficit lasts, then rotates — but pays
+        the visited/deficit/aging bookkeeping once per sweep instead of
+        once per grant.
+        """
         order = cq.order
+        burst = self.config.burst_grants
+        starvation_rounds = self.config.starvation_rounds
         rotations = 0
-        while order:
+        while order and len(approved) < burst:
             flow = order[0]
             queue = flow.queue
             while queue and queue[0].cancelled:
@@ -301,28 +370,49 @@ class QosScheduler(Sidecar):
                 flow.visited = True
                 flow.deficit += flow.quantum
                 flow.unserved += 1
-            head = queue[0]
-            starved = flow.unserved > self.config.starvation_rounds
-            if flow.deficit >= head.cost or starved:
-                flow.deficit = 0.0 if starved else flow.deficit - head.cost
-                flow.unserved = 0
-                queue.popleft()
-                cq.waiting -= 1
-                if not queue:
-                    order.popleft()
-                    flow._deactivate()
-                # else: stay at the head, burst-serving the remaining
-                # deficit across subsequent releases.
-                return head
+            served = False
+            starved = flow.unserved > starvation_rounds
+            while queue and len(approved) < burst:
+                head = queue[0]
+                if head.cancelled:
+                    queue.popleft()
+                    continue
+                if flow.deficit >= head.cost or starved:
+                    flow.deficit = (0.0 if starved
+                                    else flow.deficit - head.cost)
+                    starved = False
+                    flow.unserved = 0
+                    queue.popleft()
+                    approved.append(head)
+                    served = True
+                else:
+                    break
+            if not queue:
+                order.popleft()
+                flow._deactivate()
+                rotations = 0
+                continue
+            if len(approved) >= burst:
+                # Quota reached: entering this iteration requires a free
+                # slot, so something was served.  If the head is still
+                # affordable, stay there with the visit open — the next
+                # sweep resumes exactly where repeated single grants
+                # would; otherwise rotate as a spent flow.
+                if flow.deficit < queue[0].cost:
+                    flow.visited = False
+                    order.rotate(-1)
+                return
+            if served:
+                rotations = 0
+            else:
+                rotations += 1
             flow.visited = False
             order.rotate(-1)
-            rotations += 1
-            if rotations >= len(order):
+            if rotations and rotations >= len(order):
                 # Full sweep, nothing affordable: jump everyone forward
                 # by the smallest round count that unblocks some flow.
                 self._fast_forward(cq)
                 rotations = 0
-        return None
 
     def _fast_forward(self, cq: _ClassQueue) -> None:
         rounds_needed = None

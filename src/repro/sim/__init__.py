@@ -24,7 +24,6 @@ Public API::
 from repro.sim.core import Event, Interrupt, Process, Simulator, Timeout
 from repro.sim.resources import Resource, Store
 from repro.sim.stats import (
-    Counter,
     LatencyRecorder,
     ThroughputRecorder,
     UtilizationTracker,
@@ -38,7 +37,6 @@ __all__ = [
     "Timeout",
     "Resource",
     "Store",
-    "Counter",
     "LatencyRecorder",
     "ThroughputRecorder",
     "UtilizationTracker",

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-# Counter and the percentile machinery moved to repro.obs.metrics (the
-# metrics registry is the one home for instruments now); re-exported
-# here so existing imports keep working.
-from repro.obs.metrics import Counter, Histogram
+# Counter and the percentile machinery live in repro.obs.metrics (the
+# metrics registry is the one home for instruments); Histogram is only
+# imported as the base of the LatencyRecorder alias below.
+from repro.obs.metrics import Histogram
 from repro.sim.core import Simulator
 
 

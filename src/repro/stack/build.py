@@ -151,7 +151,9 @@ def build_stack(spec: StackSpec) -> Stack:
     host = spec.resolved_host
 
     if spec.ftl == "oxblock":
-        config = _config_from(BlockConfig, spec.ftl_config, "ftl_config")
+        ftl_config = dict(spec.ftl_config)
+        ftl_config.setdefault("map_backend", spec.vector_backend)
+        config = _config_from(BlockConfig, ftl_config, "ftl_config")
         stack.ftl = OXBlock.format(stack.media, config)
         if host == "db":
             chunks = spec.table_chunks or 32

@@ -28,6 +28,9 @@ FTL_FLAVORS = ("oxblock", "eleos", "zns", "lightlsm", "none")
 HOSTS = ("auto", "db", "llama", "none")
 PLACEMENTS = ("horizontal", "vertical")
 QOS_POLICIES = ("partitioned", "shared")
+#: Mirrors repro.ox.ftl.mapping.VECTOR_BACKENDS (kept literal so spec
+#: validation does not import FTL modules).
+VECTOR_BACKENDS = ("array", "numpy")
 WORKLOADS = ("fill_sequential", "fill_then_read_random",
              "fill_then_read_sequential", "raw_fill_read", "none")
 
@@ -179,6 +182,10 @@ class StackSpec:
     obs: bool = False
     #: Device write-back cache (bench_ablations turns it off).
     write_back: bool = True
+    #: Bulk-op backend for the FTL page map's snapshot paths: "array"
+    #: (stdlib, default) or "numpy" (build fails with a ReproError when
+    #: numpy is not installed).  Scalar map lookups are unaffected.
+    vector_backend: str = "array"
 
     def __post_init__(self) -> None:
         self.geometry = _sub_spec(GeometrySpec, self.geometry)
@@ -204,6 +211,9 @@ class StackSpec:
         _check(self.qos_policy in QOS_POLICIES,
                f"unknown qos policy {self.qos_policy!r}; "
                f"expected one of {QOS_POLICIES}")
+        _check(self.vector_backend in VECTOR_BACKENDS,
+               f"unknown vector backend {self.vector_backend!r}; "
+               f"expected one of {VECTOR_BACKENDS}")
         self.geometry.validate()
         for tenant in self.tenants:
             tenant.validate()

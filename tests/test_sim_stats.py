@@ -4,19 +4,10 @@ import pytest
 
 from repro.sim import Simulator
 from repro.sim.stats import (
-    Counter,
     LatencyRecorder,
     ThroughputRecorder,
     UtilizationTracker,
 )
-
-
-class TestCounter:
-    def test_starts_at_zero_and_increments(self):
-        counter = Counter("ops")
-        counter.increment()
-        counter.increment(4)
-        assert counter.value == 5
 
 
 class TestThroughputRecorder:
