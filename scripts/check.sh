@@ -27,6 +27,9 @@ python scripts/qos_guard.py
 echo "== stack guard (no inline wiring + spec smoke) =="
 python scripts/stack_guard.py
 
+echo "== cluster guard (serial/parallel identity + wrapper overhead) =="
+python scripts/cluster_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI guard for the cluster layer (a ``scripts/check.sh`` step).
+
+Three checks:
+
+1. **Serial/parallel identity** — a 2-shard replicated fleet run
+   serially and again on a 2-process spawn pool must merge to
+   bit-identical metrics.  This is the cluster's reproducibility
+   contract, and the one check that exercises the real process-pool
+   machinery in CI.
+2. **Wrapper overhead** — a single-shard cluster must stay within
+   ``OVERHEAD_TOLERANCE`` of a bare ``build_stack`` stack driven
+   through the *identical* op loop (same keys, payload verification,
+   read sequence), gated on the best cluster/bare ratio over five
+   interleaved pairs.  The loop is re-timed here rather than read from
+   ``benchmarks/results/perf_smoke.txt`` because that baseline times
+   only the hot fill/read phases — the cluster wall also covers stack
+   build and payload verification, so the like-for-like bare run is
+   what isolates the cost of routing, task dicts, and the merge.
+3. **Spec smoke** — ``examples/specs/cluster_smoke.json`` must load,
+   run end to end, verify every read, and lose none.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/cluster_guard.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cluster import ClusterSpec, payload_for, run_cluster  # noqa: E402
+from repro.cluster.__main__ import load_cluster_spec             # noqa: E402
+from repro.stack import StackSpec, build_stack                   # noqa: E402
+from repro.workloads import derive_stream_seed                   # noqa: E402
+
+OVERHEAD_TOLERANCE = 0.02
+SMOKE_SPEC = os.path.join(REPO_ROOT, "examples", "specs",
+                          "cluster_smoke.json")
+# One perf-smoke drive per shard (2 groups x 2 PUs), perf-smoke op
+# counts, so the overhead number reads against a familiar scale.
+TEMPLATE = {"geometry": {"num_groups": 2, "pus_per_group": 2,
+                         "chunks_per_pu": 16, "pages_per_block": 6},
+            "ftl": "oxblock",
+            "ftl_config": {"wal_chunk_count": 4,
+                           "ckpt_chunks_per_slot": 2}}
+NUM_KEYS = 40
+READ_OPS = 1200
+
+
+def check_identity() -> str:
+    spec = ClusterSpec(
+        name="cluster_guard_identity", seed=0, num_shards=2,
+        replication=2, template=dict(TEMPLATE),
+        workload={"num_keys": 16, "read_ops": 48})
+    serial = run_cluster(spec, workers=0)
+    pooled = run_cluster(spec, workers=2)
+    if serial.merged != pooled.merged:
+        diverged = sorted(
+            key for key in set(serial.merged) | set(pooled.merged)
+            if serial.merged.get(key) != pooled.merged.get(key))
+        raise SystemExit(
+            f"FAIL: serial and 2-worker merged metrics diverged on "
+            f"{diverged} — the parallel runner broke the bit-identity "
+            f"contract")
+    return (f"serial == 2-worker merge over "
+            f"{len(serial.merged)} metric keys")
+
+
+def bare_ops_per_sec() -> float:
+    """The cluster workload driven straight through ``build_stack``."""
+    # Timed from before the build: the cluster wall covers its shard
+    # builds too, so the bare run must pay the same setup.
+    started = time.perf_counter()
+    stack = build_stack(StackSpec.from_dict(
+        dict(TEMPLATE, name="cluster_guard_bare", seed=0)))
+    unit = stack.device.geometry.ws_min
+    sector = stack.spec.geometry.sector_size
+    payloads = {key: payload_for(key, unit * sector)
+                for key in range(NUM_KEYS)}
+    for key in range(NUM_KEYS):
+        stack.ftl.write(key * unit, payloads[key])
+    stack.ftl.flush()
+    rng = random.Random(derive_stream_seed(0, "cluster:reads"))
+    for __ in range(READ_OPS):
+        key = rng.randrange(NUM_KEYS)
+        if stack.ftl.read(key * unit, 1) != payloads[key][:sector]:
+            raise SystemExit("FAIL: bare baseline read verification broke")
+    return (NUM_KEYS + READ_OPS) / (time.perf_counter() - started)
+
+
+def check_overhead() -> str:
+    spec = ClusterSpec(
+        name="cluster_guard_overhead", seed=0, num_shards=1,
+        replication=1, template=dict(TEMPLATE),
+        workload={"num_keys": NUM_KEYS, "read_ops": READ_OPS})
+    # Interleaved pairs, gated on the best cluster/bare *ratio*: the
+    # shared CI box's absolute throughput drifts far more than 2%
+    # between measurement blocks, so separately-best-of-N absolutes
+    # false-fail.  Back-to-back pairs see near-identical conditions,
+    # and a wrapper that really cost >2% could not produce a single
+    # fair pair above the floor across five tries.
+    ratios = []
+    for __ in range(5):
+        baseline = bare_ops_per_sec()
+        clustered = run_cluster(spec, workers=0).wall["ops_per_sec"]
+        ratios.append(clustered / baseline)
+    best = max(ratios)
+    floor = 1.0 - OVERHEAD_TOLERANCE
+    verdict = (f"1-shard smoke: best pair ratio {best:.3f} "
+               f"(cluster/bare over 5 interleaved pairs, floor {floor})")
+    if best < floor:
+        raise SystemExit(
+            f"FAIL: {verdict} — cluster routing/merge costs more than "
+            f"{OVERHEAD_TOLERANCE:.0%} over a bare build_stack run")
+    return verdict
+
+
+def check_spec_smoke() -> str:
+    spec = load_cluster_spec(SMOKE_SPEC)
+    result = run_cluster(spec)
+    attempted = result.merged["cluster.reads_attempted"]
+    verified = result.merged["cluster.reads_verified_total"]
+    if result.reads_lost or verified != attempted:
+        raise SystemExit(
+            f"FAIL: smoke spec {SMOKE_SPEC} verified {verified}/"
+            f"{attempted} reads with {result.reads_lost} lost")
+    return (f"{os.path.relpath(SMOKE_SPEC, REPO_ROOT)}: "
+            f"{spec.num_shards} shards, {verified}/{attempted} reads "
+            f"verified, 0 lost")
+
+
+def main() -> int:
+    print(check_identity())
+    print(check_overhead())
+    print(check_spec_smoke())
+    print("cluster guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

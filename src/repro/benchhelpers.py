@@ -10,8 +10,10 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import re
 from typing import Iterable, List, Mapping, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.lsm import DB, LightLSMEnv, PlacementPolicy
 from repro.obs.metrics import MetricsRegistry
 from repro.ocssd import OpenChannelSSD
@@ -23,18 +25,40 @@ REPO_ROOT = os.path.dirname(os.path.dirname(
 RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
 
+_SLUG_BAD = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def result_slug(name: str) -> str:
+    """*name* reduced to a filesystem-safe results-file slug.
+
+    Spec names come straight from user JSON; a ``/`` (or ``..``) must
+    not escape ``benchmarks/results/``, and an empty name would write
+    ``.txt``.  Runs of unsafe characters collapse to one ``-``; edge
+    dots and dashes are stripped so the slug can never be a dotfile or
+    a path traversal.  Raises :class:`ReproError` when nothing safe
+    remains.
+    """
+    slug = _SLUG_BAD.sub("-", name or "").strip("-.")
+    if not slug:
+        raise ReproError(
+            f"result name {name!r} has no filesystem-safe characters; "
+            f"give the spec a non-empty name")
+    return slug
+
 
 def report(name: str, lines: Iterable[str],
            metrics: Optional[Mapping[str, object]] = None) -> str:
     """Print *lines* and persist them under benchmarks/results/.
 
-    With *metrics*, a machine-readable JSON twin is written next to the
-    ``.txt`` via :func:`report_json`.
+    *name* is sanitized via :func:`result_slug` before touching the
+    filesystem.  With *metrics*, a machine-readable JSON twin is
+    written next to the ``.txt`` via :func:`report_json`.
     """
+    slug = result_slug(name)
     text = "\n".join(lines)
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    path = os.path.join(RESULTS_DIR, f"{slug}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
     if metrics is not None:
@@ -77,7 +101,7 @@ def report_json(name: str, metrics: Mapping[str, object]) -> str:
     tooling can parse either file uniformly.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    path = os.path.join(RESULTS_DIR, f"{result_slug(name)}.json")
     with open(path, "w") as handle:
         json.dump(bench_entry(name, metrics, sha=git_sha()), handle,
                   indent=2, sort_keys=True)
@@ -95,7 +119,9 @@ def report_registry(name: str, registry: MetricsRegistry,
     """
     flat = registry.flat()
     lines = [header or f"Metrics: {name}"]
-    lines.extend(f"  {key:>18s} = {value}" for key, value in flat.items())
+    width = max(18, max((len(key) for key in flat), default=0))
+    lines.extend(f"  {key:>{width}s} = {value}"
+                 for key, value in flat.items())
     return report(name, lines, metrics=flat)
 
 

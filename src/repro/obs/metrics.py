@@ -187,6 +187,54 @@ class MetricsRegistry:
                 out[name] = instrument.value
         return out
 
+    # -- cross-process merge ------------------------------------------------
+
+    def dump(self) -> Dict[str, dict]:
+        """Full raw state, one dict per instrument, sorted by name.
+
+        Unlike :meth:`snapshot`, histograms carry their *samples* (not
+        just summaries), so dumps merge losslessly: percentiles of the
+        merged registry equal percentiles over the union of samples.
+        The shape is picklable/JSON-able — it is what cluster workers
+        ship back to the parent process.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = {"type": "histogram",
+                             "samples": list(instrument.samples())}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                out[name] = {"type": "counter", "value": instrument.value}
+        return out
+
+    def merge(self, dump: Dict[str, dict], prefix: str = "") -> None:
+        """Fold a :meth:`dump` into this registry under ``prefix``.
+
+        Counters add, histograms extend with the dumped samples, gauges
+        set (last merge wins — callers that need per-source gauges give
+        each source a distinct prefix, as the cluster merge does with
+        ``cluster.shard<i>.``).  Merging a name already bound to a
+        different instrument kind raises ``TypeError``, same as
+        first-use registration would.
+        """
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for name in sorted(dump):
+            entry = dump[name]
+            kind = entry["type"]
+            if kind not in kinds:
+                raise ValueError(
+                    f"metric {name!r}: unknown instrument kind {kind!r}")
+            instrument = self._get(prefix + name, kinds[kind])
+            if kind == "histogram":
+                instrument.extend(entry["samples"])
+            elif kind == "gauge":
+                instrument.set(entry["value"])
+            else:
+                instrument.increment(entry["value"])
+
     def namespace(self, prefix: str) -> Dict[str, dict]:
         """Summaries of every instrument under ``prefix.`` (or equal)."""
         dotted = prefix if prefix.endswith(".") else prefix + "."

@@ -62,7 +62,11 @@ def _raw_workload(stack: Stack) -> Dict[str, object]:
     for op in range(workload.fill_ops):
         ftl.write(op * unit, payload)
     ftl.flush()
-    rng = random.Random(stack.spec.seed or 17)
+    # The documented default seed is 0 and must stay 0 — `seed or 17`
+    # silently rewrote it to 17 (falsy-zero bug); 17 now backstops only
+    # a spec that explicitly carries seed=None.
+    seed = stack.spec.seed
+    rng = random.Random(17 if seed is None else seed)
     span = workload.fill_ops * unit
     for __ in range(workload.read_ops):
         ftl.read(rng.randrange(span), 1)
@@ -105,7 +109,11 @@ def run_and_report(spec: StackSpec,
     lines = [f"Stack run: {label} (ftl={spec.ftl}, "
              f"host={spec.resolved_host}, "
              f"workload={spec.workload.kind if spec.workload else 'none'})"]
-    lines.extend(f"  {key:>18s} = {value}"
+    # Pad to the longest key so long cluster-style metric names
+    # (cluster.shard3.read_ops_per_sec, ...) stay aligned.
+    width = max((len(key) for key in metrics), default=0)
+    width = max(width, 18)   # the historical floor, so short tables look as before
+    lines.extend(f"  {key:>{width}s} = {value}"
                  for key, value in metrics.items())
     report(label, lines, metrics=metrics)
     return metrics

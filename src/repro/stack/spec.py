@@ -237,6 +237,20 @@ class StackSpec:
     def resolved_host(self) -> str:
         return AUTO_HOST[self.ftl] if self.host == "auto" else self.host
 
+    def replace(self, **overrides) -> "StackSpec":
+        """A validated copy with *overrides* applied.
+
+        The clone is deep (built through the dict round-trip), so
+        mutating the copy's sub-specs never aliases the original —
+        cluster templating stamps out per-shard specs this way.
+        """
+        data = self.to_dict()
+        unknown = set(overrides) - {f.name for f in fields(type(self))}
+        _check(not unknown,
+               f"StackSpec.replace: unknown field(s) {sorted(unknown)}")
+        data.update(overrides)
+        return type(self).from_dict(data)
+
     # -- dict round-trip ----------------------------------------------------
 
     def to_dict(self) -> dict:

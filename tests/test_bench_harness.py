@@ -22,6 +22,7 @@ EXPECTED_BENCHES = {
     "bench_gc_locality.py",
     "bench_ablations.py",
     "bench_abstraction_spectrum.py",
+    "bench_cluster_scaling.py",
 }
 
 
@@ -52,3 +53,54 @@ def test_bench_modules_import_cleanly():
         spec = importlib.util.spec_from_file_location(name[:-3], path)
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
+
+
+def test_result_names_are_sanitized_to_safe_slugs(tmp_path, monkeypatch):
+    """Regression: a spec name with ``/`` escaped (or crashed out of)
+    benchmarks/results/; an empty name wrote ``.txt``."""
+    import pytest
+
+    import repro.benchhelpers as bh
+    from repro.errors import ReproError
+
+    monkeypatch.setattr(bh, "RESULTS_DIR", str(tmp_path))
+    path = bh.report("../evil/name", ["line"], metrics={"x": 1})
+    assert os.path.dirname(path) == str(tmp_path)
+    assert os.path.basename(path) == "evil-name.txt"
+    assert os.path.exists(os.path.join(str(tmp_path), "evil-name.json"))
+    assert bh.result_slug("perf_smoke") == "perf_smoke"
+    assert bh.result_slug("a b/c") == "a-b-c"
+    for empty in ("", "///", "..", None):
+        with pytest.raises(ReproError, match="non-empty"):
+            bh.result_slug(empty)
+
+
+def test_report_pads_to_the_longest_metric_key(tmp_path, monkeypatch):
+    """Regression: ``{key:>18s}`` misaligned cluster-length keys."""
+    import repro.benchhelpers as bh
+    from repro.obs.metrics import MetricsRegistry
+    from repro.stack.runner import run_and_report
+    from repro.stack.spec import StackSpec
+
+    monkeypatch.setattr(bh, "RESULTS_DIR", str(tmp_path))
+    registry = MetricsRegistry()
+    registry.gauge("cluster.shard3.read_ops_per_sec").set(1.0)
+    registry.gauge("x").set(2)
+    path = bh.report_registry("pad-test", registry)
+    lines = open(path).read().splitlines()[1:]
+    keys = [line.partition("=")[0] for line in lines]
+    # One shared pad width, sized by the longest key.
+    assert len({len(key) for key in keys}) == 1
+    assert len(keys[0]) >= len("cluster.shard3.read_ops_per_sec")
+
+    run_and_report(StackSpec(
+        name="pad-stack-test",
+        geometry={"num_groups": 2, "pus_per_group": 2,
+                  "chunks_per_pu": 16, "pages_per_block": 6},
+        ftl="oxblock",
+        ftl_config={"wal_chunk_count": 4, "ckpt_chunks_per_slot": 2},
+        workload={"kind": "raw_fill_read", "fill_ops": 4, "read_ops": 8}))
+    lines = open(os.path.join(
+        str(tmp_path), "pad-stack-test.txt")).read().splitlines()[1:]
+    widths = {len(line.partition("=")[0]) for line in lines}
+    assert len(widths) == 1

@@ -179,6 +179,35 @@ def test_run_spec_raw_fill_read():
     assert metrics["sim_seconds"] > 0
 
 
+def test_raw_workload_honors_seed_zero():
+    """Regression: ``seed or 17`` silently replaced the documented
+    default seed 0 with 17 — the raw-workload read sequences for seed 0
+    and seed 17 must differ, and seed 0 must reproduce itself."""
+    from repro.stack.runner import _raw_workload
+
+    def read_lbas(seed: int) -> list:
+        stack = build_stack(StackSpec(
+            seed=seed, geometry=SMOKE_GEOMETRY, ftl="oxblock",
+            ftl_config={"wal_chunk_count": 4, "ckpt_chunks_per_slot": 2},
+            workload={"kind": "raw_fill_read",
+                      "fill_ops": 6, "read_ops": 30}))
+        sequence = []
+        real_read = stack.ftl.read
+
+        def recording_read(lba, sectors=1):
+            sequence.append(lba)
+            return real_read(lba, sectors)
+
+        stack.ftl.read = recording_read
+        _raw_workload(stack)
+        return sequence
+
+    zero, seventeen = read_lbas(0), read_lbas(17)
+    assert len(zero) == len(seventeen) == 30
+    assert zero != seventeen, "seed 0 must not alias seed 17"
+    assert zero == read_lbas(0), "seed 0 must be reproducible"
+
+
 def test_module_runner_executes_a_json_spec(tmp_path, capsys):
     from repro.stack.__main__ import main
     spec_path = tmp_path / "spec.json"
