@@ -30,6 +30,9 @@ python scripts/stack_guard.py
 echo "== cluster guard (serial/parallel identity + wrapper overhead) =="
 python scripts/cluster_guard.py
 
+echo "== trace guard (record/replay identity + calibration + overhead) =="
+python scripts/trace_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

@@ -38,14 +38,22 @@ def main(argv=None) -> int:
                         help="override the results-file name")
     parser.add_argument("--workers", type=int, default=None,
                         help="override spec.workers (0 = serial)")
+    parser.add_argument("--trace-out", default=None,
+                        help="record the routed cluster workload to this "
+                             "trace file (replayable via workload.trace)")
     args = parser.parse_args(argv)
     try:
         spec = load_cluster_spec(args.spec)
     except ReproError as exc:
         print(f"invalid spec {args.spec}: {exc}", file=sys.stderr)
         return 2
-    result = run_and_report_cluster(spec, name=args.name,
-                                    workers=args.workers)
+    try:
+        result = run_and_report_cluster(spec, name=args.name,
+                                        workers=args.workers,
+                                        trace_out=args.trace_out)
+    except ReproError as exc:
+        print(f"run failed for {args.spec}: {exc}", file=sys.stderr)
+        return 2
     if result.reads_lost:
         print(f"{result.reads_lost} read(s) lost "
               f"(no live replica)", file=sys.stderr)

@@ -187,13 +187,59 @@ class ClusterResult:
         return self.merged["cluster.reads_lost"]
 
 
+def _plan_keys(spec: ClusterSpec) -> Tuple[List[int], List[int]]:
+    """The cluster-boundary op streams: write keys then read keys.
+
+    Generated from the workload spec, or — when ``workload.trace``
+    names a recorded cluster trace — replayed from it verbatim, so a
+    re-run routes the exact captured key sequences through whatever
+    sharding the current spec declares.
+    """
+    workload = spec.workload
+    if workload.trace:
+        from repro.trace.format import read_trace
+        __, ops = read_trace(workload.trace)
+        write_keys: List[int] = []
+        read_keys: List[int] = []
+        for op in ops:
+            if op.layer != "cluster":
+                raise ReproError(
+                    f"cluster replay: trace {workload.trace!r} carries a "
+                    f"{op.layer!r}-layer op; cluster traces only")
+            if op.kind == "write":
+                write_keys.append(int(op.key))
+            elif op.kind == "read":
+                read_keys.append(int(op.key))
+            else:
+                raise ReproError(
+                    f"cluster replay: op kind {op.kind!r} is not "
+                    f"replayable at the cluster boundary")
+        unknown = set(read_keys) - set(write_keys)
+        if unknown:
+            raise ReproError(
+                f"cluster replay: trace reads {len(unknown)} key(s) it "
+                f"never wrote (e.g. {sorted(unknown)[:3]})")
+        return write_keys, read_keys
+    write_keys = list(range(workload.num_keys))
+    rng = random.Random(derive_stream_seed(spec.seed, "cluster:reads"))
+    read_keys = [rng.randrange(workload.num_keys)
+                 for __ in range(workload.read_ops)]
+    return write_keys, read_keys
+
+
 def run_cluster(spec: ClusterSpec,
-                workers: Optional[int] = None) -> ClusterResult:
+                workers: Optional[int] = None,
+                trace_out: Optional[str] = None) -> ClusterResult:
     """Route the workload, execute the shards, merge the results.
 
     *workers* overrides ``spec.workers``; 0 runs every shard serially
     in-process.  Both paths call the same :func:`_run_shard` on the
     same task dicts, so their merged metrics are bit-identical.
+
+    With *trace_out*, the cluster-boundary workload (the routed key
+    streams, before sharding) is written as a ``repro.trace`` file that
+    ``workload.trace`` replays — through this spec or a differently
+    sharded one.
     """
     spec.validate()
     worker_count = spec.workers if workers is None else workers
@@ -203,20 +249,34 @@ def run_cluster(spec: ClusterSpec,
                           replication=spec.replication,
                           vnodes=spec.vnodes)
     workload = spec.workload
+    write_keys, read_keys = _plan_keys(spec)
 
     # -- plan: route every op in the parent ---------------------------------
     replica_sets: Dict[int, Tuple[int, ...]] = {}
     writes_by_shard: List[List[int]] = [[] for __ in range(count)]
-    for key in range(workload.num_keys):
+    for key in write_keys:
         replicas = router.replicas(key)
         replica_sets[key] = replicas
         for shard in replicas:
             writes_by_shard[shard].append(key)
     reads_by_shard: List[List[int]] = [[] for __ in range(count)]
-    rng = random.Random(derive_stream_seed(spec.seed, "cluster:reads"))
-    for __ in range(workload.read_ops):
-        key = rng.randrange(workload.num_keys)
+    for key in read_keys:
         reads_by_shard[replica_sets[key][0]].append(key)
+
+    if trace_out:
+        from repro.trace.format import TraceOp, write_trace
+        # The cluster plan has no simulated clock (shards own their own
+        # kernels), so issue times are the plan order itself.
+        ops = [TraceOp(t=float(index), layer="cluster", kind="write",
+                       key=str(key))
+               for index, key in enumerate(write_keys)]
+        base = len(ops)
+        ops.extend(TraceOp(t=float(base + index), layer="cluster",
+                           kind="read", key=str(key))
+                   for index, key in enumerate(read_keys))
+        write_trace(trace_out, ops,
+                    meta={"cluster": spec.name,
+                          "value_units": workload.value_units})
 
     def task_for(shard: int, round_no: int, reads: List[int]) -> dict:
         return {"shard": shard, "round": round_no,
@@ -293,7 +353,7 @@ def run_cluster(spec: ClusterSpec,
         r["metrics"]["write_ops"] for r in round0)
     merged["cluster.writes_failed"] = sum(
         r["metrics"]["write_failures"] for r in round0)
-    merged["cluster.reads_attempted"] = workload.read_ops
+    merged["cluster.reads_attempted"] = len(read_keys)
     merged["cluster.reads_verified_total"] = sum(
         r["metrics"]["reads_verified"] for r in flat_results)
     merged["cluster.read_corruptions_total"] = sum(
@@ -321,12 +381,13 @@ def run_cluster(spec: ClusterSpec,
 
 def run_and_report_cluster(spec: ClusterSpec,
                            name: Optional[str] = None,
-                           workers: Optional[int] = None) -> ClusterResult:
+                           workers: Optional[int] = None,
+                           trace_out: Optional[str] = None) -> ClusterResult:
     """:func:`run_cluster` plus the standard results files."""
     # Imported here: benchhelpers imports repro.stack at module scope
     # and the report path is CLI/bench-only.
     from repro.benchhelpers import report
-    result = run_cluster(spec, workers=workers)
+    result = run_cluster(spec, workers=workers, trace_out=trace_out)
     label = name or spec.name
     effective = spec.workers if workers is None else workers
     lines = [f"Cluster run: {label} ({spec.num_shards} shards, "

@@ -60,6 +60,10 @@ class ClusterWorkloadSpec:
     num_keys: int = 64
     read_ops: int = 256
     value_units: int = 1
+    #: Replay a recorded cluster trace (``repro.trace`` format) instead
+    #: of generating the keyed workload; ``num_keys``/``read_ops`` are
+    #: then taken from the trace.
+    trace: str = ""
 
     def validate(self) -> None:
         _check(self.num_keys >= 1,

@@ -139,26 +139,38 @@ class DB:
 
     # -- synchronous API -------------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
-        self.sim.run_until(self.sim.spawn(self.put_proc(key, value)))
+    def put(self, key: bytes, value: bytes, *, stream: str = "") -> None:
+        self.sim.run_until(self.sim.spawn(
+            self.put_proc(key, value, stream=stream)))
 
-    def get(self, key: bytes) -> Optional[bytes]:
-        return self.sim.run_until(self.sim.spawn(self.get_proc(key)))
+    def get(self, key: bytes, *, stream: str = "") -> Optional[bytes]:
+        return self.sim.run_until(self.sim.spawn(
+            self.get_proc(key, stream=stream)))
 
-    def delete(self, key: bytes) -> None:
-        self.sim.run_until(self.sim.spawn(self.delete_proc(key)))
+    def delete(self, key: bytes, *, stream: str = "") -> None:
+        self.sim.run_until(self.sim.spawn(
+            self.delete_proc(key, stream=stream)))
 
     def flush(self) -> None:
         self.sim.run_until(self.sim.spawn(self.flush_proc()))
 
     def scan(self, limit: int = 0,
-             on_entry: Optional[Callable] = None) -> int:
+             on_entry: Optional[Callable] = None, *,
+             stream: str = "") -> int:
         return self.sim.run_until(self.sim.spawn(
-            self.scan_proc(limit, on_entry)))
+            self.scan_proc(limit, on_entry, stream=stream)))
 
     # -- write path --------------------------------------------------------------------
 
-    def put_proc(self, key: bytes, value: bytes):
+    def put_proc(self, key: bytes, value: bytes, *, stream: str = ""):
+        # Trace capture (repro.trace): the slot is read at call time so a
+        # recorder can attach to an already-built stack; detached cost is
+        # these two loads.  *stream* is the replay-concurrency label — it
+        # names the issuing client so replay can rebuild the same
+        # closed-loop procs.
+        trace = self.sim.trace
+        if trace is not None:
+            trace.host_op("put", key=key, value=value, stream=stream)
         obs = self.obs
         if obs is not None:
             put_started = self.sim.now
@@ -173,7 +185,10 @@ class DB:
             obs.metrics.histogram("lsm.put.latency_s").record(
                 self.sim.now - put_started)
 
-    def delete_proc(self, key: bytes):
+    def delete_proc(self, key: bytes, *, stream: str = ""):
+        trace = self.sim.trace
+        if trace is not None:
+            trace.host_op("delete", key=key, stream=stream)
         yield from self._write_gate_proc()
         if self.config.put_cpu:
             yield self.sim.timeout(self.config.put_cpu)
@@ -232,7 +247,10 @@ class DB:
 
     # -- read path ---------------------------------------------------------------------
 
-    def get_proc(self, key: bytes):
+    def get_proc(self, key: bytes, *, stream: str = ""):
+        trace = self.sim.trace
+        if trace is not None:
+            trace.host_op("get", key=key, stream=stream)
         self.stats.gets += 1
         if self.config.get_cpu:
             yield self.sim.timeout(self.config.get_cpu)
@@ -269,9 +287,13 @@ class DB:
         return search_block(block, key)
 
     def scan_proc(self, limit: int = 0,
-                  on_entry: Optional[Callable] = None):
+                  on_entry: Optional[Callable] = None, *,
+                  stream: str = ""):
         """Full-order scan (db_bench read-sequential): a k-way merge over
         the memtable and every table, streaming blocks with readahead."""
+        trace = self.sim.trace
+        if trace is not None:
+            trace.host_op("scan", size=limit, stream=stream)
         snapshot: List[TableRef] = []
         cursors = [MemCursor(list(self.memtable.items_sorted()))]
         if self.immutable is not None:

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.lsm.db import DB
 from repro.sim.core import Simulator
 from repro.sim.stats import ThroughputRecorder
@@ -78,9 +79,13 @@ class DbBench:
         started = self.sim.now
 
         def client(client_id: int):
+            # The stream label rides into the trace recorder (when one is
+            # attached) so replay can rebuild this client's closed loop.
+            stream = f"fill-{client_id}"
             for index in range(ops_per_client):
                 yield from self.db.put_proc(self.key(index),
-                                            self.value(index))
+                                            self.value(index),
+                                            stream=stream)
                 recorder.record(self.sim.now)
 
         workers = [self.sim.spawn(client(c), name=f"fill-{c}")
@@ -106,7 +111,8 @@ class DbBench:
         def client(client_id: int):
             scanned = yield from self.db.scan_proc(
                 limit=ops_per_client,
-                on_entry=lambda __k, __v: recorder.record(self.sim.now))
+                on_entry=lambda __k, __v: recorder.record(self.sim.now),
+                stream=f"readseq-{client_id}")
             return scanned
 
         workers = [self.sim.spawn(client(c), name=f"readseq-{c}")
@@ -124,16 +130,20 @@ class DbBench:
         """Uniform point lookups over the populated key space."""
         space = key_space or self.populated_keys
         if space <= 0:
-            raise ValueError("read_random needs a populated database")
+            raise ReproError(
+                "DbBench.read_random: key_space must be positive "
+                f"(got {space}); fill the database first or pass "
+                "key_space explicitly")
         recorder = ThroughputRecorder(self.series_window)
         started = self.sim.now
 
         def client(client_id: int):
             rng = random.Random(self.seed * 1000 + client_id)
+            stream = f"readrand-{client_id}"
             hits = 0
             for __ in range(ops_per_client):
                 key = self.key(rng.randrange(space))
-                value = yield from self.db.get_proc(key)
+                value = yield from self.db.get_proc(key, stream=stream)
                 if value is not None:
                     hits += 1
                 recorder.record(self.sim.now)
@@ -155,6 +165,11 @@ class DbBench:
         """Let flush, compaction and the device cache settle (between the
         fill and the read workloads, as db_bench runs them back to back on
         a settled database)."""
+        trace = self.sim.trace
+        if trace is not None:
+            # A recorded barrier: replay splits its phases here and
+            # quiesces the stack exactly as this capture run did.
+            trace.barrier("quiesce")
         self.db.flush()
         self.db.wait_idle()
         media = getattr(self.db.env, "media", None)

@@ -15,7 +15,7 @@ from repro.nand.celltype import (
     unit_of_write_sectors,
 )
 from repro.nand.geometry import FlashGeometry
-from repro.nand.timing import NandTiming, timing_for
+from repro.nand.timing import NandTiming, SampledNandTiming, timing_for
 from repro.nand.chip import BlockState, FlashBlock, FlashChip
 from repro.nand.errors import WearModel
 
@@ -27,6 +27,7 @@ __all__ = [
     "unit_of_write_sectors",
     "FlashGeometry",
     "NandTiming",
+    "SampledNandTiming",
     "timing_for",
     "BlockState",
     "FlashBlock",

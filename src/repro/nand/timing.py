@@ -9,6 +9,7 @@ throughput gap of Figure 5.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.nand.celltype import CellType
@@ -49,6 +50,53 @@ class NandTiming:
     def erase_time(self) -> float:
         """Media time for a (multi-plane) block erase."""
         return self.erase_latency
+
+
+@dataclass(frozen=True)
+class SampledNandTiming(NandTiming):
+    """A :class:`NandTiming` whose media latencies carry per-op jitter.
+
+    Real chips do not serve every page in exactly t_R: measured profiles
+    (what :mod:`repro.trace.calibrate` fits) show a right-skewed spread.
+    Each ``*_sigma`` is the sigma of a mean-preserving multiplicative
+    log-normal — the base latency stays the *mean*, so throughput-level
+    results match the deterministic model while individual ops vary.
+
+    Sampling is seeded and consumed in simulator event order, so a given
+    (seed, workload) pair replays the identical latency sequence — the
+    determinism contract every other layer already honours.  A sigma of
+    zero skips the RNG entirely and is bit-identical to the base class.
+    """
+
+    read_sigma: float = 0.0
+    program_sigma: float = 0.0
+    erase_sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("read_sigma", "program_sigma", "erase_sigma"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"negative {name}: {value}")
+        # Frozen dataclass: the RNG is runtime state, not a field (it
+        # stays out of ==/hash and of asdict()).
+        object.__setattr__(self, "_rng", random.Random(self.seed))
+
+    def _jitter(self, sigma: float) -> float:
+        if sigma <= 0.0:
+            return 1.0
+        # lognormvariate(-sigma^2/2, sigma) has mean exactly 1.
+        return self._rng.lognormvariate(-0.5 * sigma * sigma, sigma)
+
+    def read_time(self, pages: int = 1) -> float:
+        return super().read_time(pages) * self._jitter(self.read_sigma)
+
+    def program_time(self, page_groups: int = 1) -> float:
+        return (super().program_time(page_groups)
+                * self._jitter(self.program_sigma))
+
+    def erase_time(self) -> float:
+        return super().erase_time() * self._jitter(self.erase_sigma)
 
 
 _PRESETS = {

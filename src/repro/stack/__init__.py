@@ -13,6 +13,7 @@ from repro.stack.spec import (
     GeometrySpec,
     StackSpec,
     TenantSpec,
+    TimingSpec,
     WorkloadSpec,
 )
 
@@ -22,6 +23,7 @@ __all__ = [
     "Stack",
     "StackSpec",
     "TenantSpec",
+    "TimingSpec",
     "WorkloadSpec",
     "build_stack",
     "run_and_report",

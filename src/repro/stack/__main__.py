@@ -35,13 +35,20 @@ def main(argv=None) -> int:
     parser.add_argument("spec", help="path to a JSON or TOML StackSpec")
     parser.add_argument("--name", default=None,
                         help="override the results-file name")
+    parser.add_argument("--trace-out", default=None,
+                        help="record the run's workload-boundary ops to "
+                             "this trace file (.jsonl/.json or binary)")
     args = parser.parse_args(argv)
     try:
         spec = load_spec(args.spec)
     except ReproError as exc:
         print(f"invalid spec {args.spec}: {exc}", file=sys.stderr)
         return 2
-    run_and_report(spec, name=args.name)
+    try:
+        run_and_report(spec, name=args.name, trace_out=args.trace_out)
+    except ReproError as exc:
+        print(f"run failed for {args.spec}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -28,7 +28,8 @@ from repro.lsm import (
 from repro.lsm.blockenv import BlockDevEnv
 from repro.lsm.znsenv import ZnsEnv
 from repro.llama import LlamaConfig, LlamaEngine
-from repro.nand import FlashGeometry
+from repro.nand import (
+    FlashGeometry, NandTiming, SampledNandTiming, timing_for)
 from repro.obs import Obs
 from repro.ocssd import DeviceGeometry, OpenChannelSSD
 from repro.ox import BlockConfig, EleosConfig, MediaManager, OXBlock, OXEleos
@@ -104,6 +105,44 @@ def _device_geometry(spec: StackSpec) -> DeviceGeometry:
             sector_size=g.sector_size))
 
 
+def _resolve_timing(spec: StackSpec) -> Optional[NandTiming]:
+    """``spec.timing`` -> a concrete timing model (None = cell preset).
+
+    Preset -> profile fit -> explicit overrides, then an optional
+    log-normal jitter wrapper; see :class:`repro.stack.spec.TimingSpec`.
+    """
+    t = spec.timing
+    if t is None:
+        return None
+    base = timing_for(spec.geometry.cell_type)
+    sigmas = {"read": t.jitter_sigma, "program": t.jitter_sigma,
+              "erase": t.jitter_sigma}
+    if t.profile:
+        # Imported lazily: the spec layer stays importable without the
+        # trace package, and most stacks never calibrate.
+        from repro.trace.calibrate import fit_profile, load_profile
+        fitted = fit_profile(load_profile(t.profile), jitter=t.fit_jitter,
+                             seed=t.seed)
+        base = fitted.timing
+        if t.fit_jitter and not t.jitter_sigma:
+            sigmas = {kind: fitted.sigmas.get(kind, 0.0)
+                      for kind in sigmas}
+    values = dict(
+        read_latency=(t.read_latency_us * 1e-6
+                      or base.read_latency),
+        program_latency=(t.program_latency_us * 1e-6
+                         or base.program_latency),
+        erase_latency=(t.erase_latency_us * 1e-6
+                       or base.erase_latency),
+        channel_bandwidth=(t.channel_mib_per_sec * 2**20
+                           or base.channel_bandwidth))
+    if any(sigmas.values()):
+        return SampledNandTiming(
+            read_sigma=sigmas["read"], program_sigma=sigmas["program"],
+            erase_sigma=sigmas["erase"], seed=t.seed, **values)
+    return NandTiming(**values)
+
+
 def _fault_plan(spec: StackSpec) -> FaultPlan:
     f = spec.faults
     return FaultPlan(
@@ -123,6 +162,7 @@ def build_stack(spec: StackSpec) -> Stack:
     """Assemble and wire the stack *spec* describes."""
     spec.validate()
     device = OpenChannelSSD(geometry=_device_geometry(spec),
+                            timing=_resolve_timing(spec),
                             write_back=spec.write_back)
     stack = Stack(spec=spec, device=device)
 

@@ -80,15 +80,49 @@ def _raw_workload(stack: Stack) -> Dict[str, object]:
     }
 
 
-def run_spec(spec: StackSpec) -> Dict[str, object]:
-    """Build the stack, run its workload, return the metrics."""
+def _trace_workload(stack: Stack) -> Dict[str, object]:
+    from repro.trace.replay import TraceWorkload
+    workload = stack.spec.workload
+    return TraceWorkload.load(workload.trace,
+                              pacing=workload.pacing).run(stack)
+
+
+def _capture_boundary(spec: StackSpec) -> str:
+    """Which instrumented boundary a capture of *spec* records."""
+    host = spec.resolved_host
+    if host == "db":
+        return "host"
+    if host == "none" and spec.ftl == "oxblock":
+        return "block"
+    raise ReproError(
+        f"trace capture: no instrumented workload boundary for "
+        f"ftl={spec.ftl!r}, host={host!r} (supported: any db host, or a "
+        f"bare oxblock FTL)")
+
+
+def run_spec(spec: StackSpec,
+             trace_out: Optional[str] = None) -> Dict[str, object]:
+    """Build the stack, run its workload, return the metrics.
+
+    With *trace_out*, a :class:`repro.trace.TraceRecorder` rides along
+    and the captured trace is written there.  Recording appends to a
+    list outside the event loop, so the captured run's simulated
+    timeline is identical to an unrecorded one.
+    """
     stack = build_stack(spec)
+    recorder = None
+    if trace_out:
+        from repro.trace.recorder import TraceRecorder
+        recorder = TraceRecorder(
+            boundary=_capture_boundary(spec)).attach(stack.device)
     workload = spec.workload
     if workload is None or workload.kind == "none":
         stack.sim.run()
         metrics: Dict[str, object] = {}
     elif workload.kind == "raw_fill_read":
         metrics = _raw_workload(stack)
+    elif workload.kind == "trace":
+        metrics = _trace_workload(stack)
     else:
         metrics = _db_workload(stack)
     metrics["sim_seconds"] = round(stack.sim.now, 9)
@@ -96,15 +130,19 @@ def run_spec(spec: StackSpec) -> Dict[str, object]:
     if stack.faults is not None:
         metrics["media_ops"] = stack.faults.stats.media_ops
         metrics["power_cuts"] = stack.faults.stats.power_cuts
+    if recorder is not None:
+        recorder.write(trace_out, meta={"spec": spec.to_dict()})
+        metrics["trace_ops"] = len(recorder.ops)
     return metrics
 
 
 def run_and_report(spec: StackSpec,
-                   name: Optional[str] = None) -> Dict[str, object]:
+                   name: Optional[str] = None,
+                   trace_out: Optional[str] = None) -> Dict[str, object]:
     """``run_spec`` + the standard results files; returns the metrics."""
     # Imported here: benchhelpers itself builds stacks from specs.
     from repro.benchhelpers import report
-    metrics = run_spec(spec)
+    metrics = run_spec(spec, trace_out=trace_out)
     label = name or spec.name
     lines = [f"Stack run: {label} (ftl={spec.ftl}, "
              f"host={spec.resolved_host}, "

@@ -32,7 +32,8 @@ QOS_POLICIES = ("partitioned", "shared")
 #: validation does not import FTL modules).
 VECTOR_BACKENDS = ("array", "numpy")
 WORKLOADS = ("fill_sequential", "fill_then_read_random",
-             "fill_then_read_sequential", "raw_fill_read", "none")
+             "fill_then_read_sequential", "raw_fill_read", "trace", "none")
+PACINGS = ("afap", "recorded")
 
 #: host="auto" resolves per FTL flavor: the LSM engine for the three
 #: table-native environments, LLAMA for ELEOS, nothing for a raw device
@@ -140,6 +141,10 @@ class WorkloadSpec:
     # raw_fill_read only: single-sector reads over the filled span.
     fill_ops: int = 40
     read_ops: int = 300
+    # kind="trace" only: the recorded trace to replay, and whether to
+    # run it closed-loop (afap) or at the captured issue times.
+    trace: str = ""
+    pacing: str = "afap"
 
     def validate(self) -> None:
         _check(self.kind in WORKLOADS,
@@ -147,6 +152,45 @@ class WorkloadSpec:
                f"got {self.kind!r}")
         _check(self.clients >= 1,
                f"workload.clients must be >= 1, got {self.clients}")
+        _check(self.pacing in PACINGS,
+               f"workload.pacing must be one of {PACINGS}, "
+               f"got {self.pacing!r}")
+        if self.kind == "trace":
+            _check(bool(self.trace),
+                   "workload.trace must name a trace file when "
+                   "workload.kind is 'trace'")
+
+
+@dataclass
+class TimingSpec:
+    """The device timing model, declaratively.
+
+    Resolution order (each stage overrides the previous): the cell
+    preset, a calibrated *profile* (a builtin name or a
+    ``repro.timing_profile`` JSON path — see
+    :mod:`repro.trace.calibrate`), then the explicit ``*_us`` /
+    bandwidth overrides.  A positive ``jitter_sigma`` turns the result
+    into a seeded :class:`repro.nand.SampledNandTiming` whose per-op
+    latencies vary log-normally around the base values.
+    """
+
+    profile: str = ""
+    read_latency_us: float = 0.0      # 0 = keep preset/profile value
+    program_latency_us: float = 0.0
+    erase_latency_us: float = 0.0
+    channel_mib_per_sec: float = 0.0
+    jitter_sigma: float = 0.0
+    #: With a profile: also adopt its fitted per-op sigmas.
+    fit_jitter: bool = False
+    seed: int = 0
+
+    def validate(self) -> None:
+        for name in ("read_latency_us", "program_latency_us",
+                     "erase_latency_us", "channel_mib_per_sec",
+                     "jitter_sigma"):
+            _check(getattr(self, name) >= 0,
+                   f"timing.{name} must be >= 0, "
+                   f"got {getattr(self, name)}")
 
 
 @dataclass
@@ -179,6 +223,8 @@ class StackSpec:
     #: Attach a QosScheduler when tenants are declared.
     qos_scheduler: bool = True
     faults: Optional[FaultSpec] = None
+    #: Device timing override: None keeps the cell preset.
+    timing: Optional[TimingSpec] = None
     obs: bool = False
     #: Device write-back cache (bench_ablations turns it off).
     write_back: bool = True
@@ -193,6 +239,8 @@ class StackSpec:
             self.workload = _sub_spec(WorkloadSpec, self.workload)
         if self.faults is not None:
             self.faults = _sub_spec(FaultSpec, self.faults)
+        if self.timing is not None:
+            self.timing = _sub_spec(TimingSpec, self.timing)
         self.tenants = [t if isinstance(t, TenantSpec)
                         else _sub_spec(TenantSpec, t)
                         for t in self.tenants]
@@ -224,6 +272,8 @@ class StackSpec:
             self.workload.validate()
         if self.faults is not None:
             self.faults.validate()
+        if self.timing is not None:
+            self.timing.validate()
         host = self.resolved_host
         if host == "db":
             _check(self.ftl in ("oxblock", "zns", "lightlsm"),
@@ -259,6 +309,8 @@ class StackSpec:
             del data["workload"]
         if data["faults"] is None:
             del data["faults"]
+        if data["timing"] is None:
+            del data["timing"]
         return data
 
     @classmethod

@@ -1,0 +1,61 @@
+"""``repro.trace``: deterministic workload capture, replay and calibration.
+
+The paper's evaluation hinges on running the *same* workload across the
+Figure-1 abstraction spectrum.  Seeded generators get most of the way,
+but production-shaped traffic (bursty diurnal mixes, Zipf hotspots) has
+to be captured once and replayed faithfully.  This package is that
+evaluation layer, in three pillars:
+
+* **Capture** — :class:`TraceRecorder`, a sidecar (slot ``trace``, same
+  zero-cost-when-detached contract as faults/obs/qos) that records every
+  op crossing the host/workload boundary into a versioned JSONL or
+  binary trace (:mod:`repro.trace.format`).  ``python -m repro.stack
+  --trace-out`` and ``python -m repro.cluster --trace-out`` emit traces.
+* **Replay** — :class:`TraceWorkload`, a workload that plugs into
+  ``StackSpec.workload`` (``kind="trace"``) and ``ClusterWorkloadSpec``
+  and replays a recorded trace deterministically: the same trace through
+  the same spec yields bit-identical non-wall metrics, and one trace
+  replays across FTL personalities for apples-to-apples comparisons.
+  Pacing is ``afap`` (closed loop) or ``recorded`` (open loop at the
+  captured inter-arrival times).
+* **Calibration** — :mod:`repro.trace.calibrate` fits the NAND timing
+  model (including the optional seeded latency *distributions* of
+  :class:`repro.nand.SampledNandTiming`) to a latency profile: a shipped
+  data file, a calibration of a prior run's obs histograms, or a
+  synthetic ground truth.  ``StackSpec.timing`` makes the fitted model
+  declarative.
+"""
+
+from repro.trace.calibrate import (
+    CalibrationResult,
+    builtin_profiles,
+    evaluate,
+    fit_profile,
+    load_profile,
+    profile_from_registry,
+    synth_profile,
+)
+from repro.trace.format import (
+    TRACE_VERSION,
+    TraceOp,
+    read_trace,
+    write_trace,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import TraceWorkload
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceWorkload",
+    "CalibrationResult",
+    "builtin_profiles",
+    "evaluate",
+    "fit_profile",
+    "load_profile",
+    "profile_from_registry",
+    "read_trace",
+    "synth_profile",
+    "write_trace",
+]

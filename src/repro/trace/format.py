@@ -1,0 +1,219 @@
+"""The versioned on-disk trace format: one op record per workload op.
+
+Two codecs carry the same logical records:
+
+* **JSONL** (``.jsonl``/``.json``) — a header line ``{"format":
+  "repro.trace", "version": 1, "meta": {...}}`` followed by one compact
+  JSON object per op.  Default-valued fields are omitted, so a
+  fill-sequential trace is ~60 bytes/op and diffs readably.
+* **Binary** (any other suffix; ``.trace`` by convention) — magic
+  ``RTRC``, a little-endian version, a JSON meta blob, then fixed-layout
+  struct records with length-prefixed stream/key strings.  ~3x smaller
+  and ~5x faster to decode than JSONL for million-op traces.
+
+``read_trace`` sniffs the magic, so either codec round-trips through
+either suffix.  Payload bytes are compressed to ``(fill, size)`` — every
+workload in this repo writes constant-fill values, and replay fidelity
+needs sizes and keys, not entropy; arbitrary-content values replay as
+``bytes([fill]) * size``.
+
+Record vocabulary (``layer`` / ``kind``):
+
+* ``host`` — ``put`` / ``get`` / ``delete`` / ``scan`` (LSM K/V ops;
+  ``key`` is the latin-1 decoded key, ``size`` the value size or scan
+  limit, ``fill`` the value's fill byte) and ``barrier`` (a quiesce
+  point splitting replay phases);
+* ``block`` — ``write`` / ``read`` / ``trim`` / ``flush`` over the
+  OX-Block LBA API (``lba``/``sectors``);
+* ``cluster`` — ``write`` / ``read`` of a routed cluster key.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+TRACE_VERSION = 1
+TRACE_MAGIC = b"RTRC"
+
+LAYERS = ("host", "block", "cluster")
+KINDS = ("put", "get", "delete", "scan", "write", "read", "trim",
+         "flush", "barrier")
+
+#: JSONL field abbreviations, in record order.
+_JSON_KEYS = (("t", "t"), ("l", "layer"), ("k", "kind"), ("s", "stream"),
+              ("key", "key"), ("lba", "lba"), ("n", "sectors"),
+              ("sz", "size"), ("f", "fill"))
+_DEFAULTS = {"stream": "", "key": "", "lba": -1, "sectors": 0,
+             "size": 0, "fill": 0}
+
+#: Binary record header: t, layer, kind, len(stream), len(key), lba,
+#: sectors, size, fill — followed by the stream and key bytes.
+_RECORD = struct.Struct("<dBBHHqiiB")
+_HEADER = struct.Struct("<HI")   # version, meta-blob length
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded workload operation (or barrier)."""
+
+    t: float                 # sim time at issue
+    layer: str               # host | block | cluster
+    kind: str                # see KINDS
+    stream: str = ""         # client/tenant label (replay concurrency)
+    key: str = ""            # host/cluster key (latin-1 decoded)
+    lba: int = -1            # block ops only
+    sectors: int = 0         # block ops only
+    size: int = 0            # value bytes (put) / scan limit
+    fill: int = 0            # payload fill byte
+
+    def key_bytes(self) -> bytes:
+        return self.key.encode("latin-1")
+
+    def payload(self, sector_size: int = 0) -> bytes:
+        """The op's value/payload bytes, reconstructed from (fill, size).
+
+        Host ops use ``size`` directly; block ops use ``sectors`` times
+        *sector_size*.
+        """
+        if self.layer == "block":
+            return bytes([self.fill]) * (self.sectors * sector_size)
+        return bytes([self.fill]) * self.size
+
+    def validate(self) -> "TraceOp":
+        if self.layer not in LAYERS:
+            raise ReproError(
+                f"trace op: unknown layer {self.layer!r}; "
+                f"expected one of {LAYERS}")
+        if self.kind not in KINDS:
+            raise ReproError(
+                f"trace op: unknown kind {self.kind!r}; "
+                f"expected one of {KINDS}")
+        return self
+
+
+def _encode_jsonl(ops: Iterable[TraceOp], meta: Dict[str, object]) -> bytes:
+    header = {"format": "repro.trace", "version": TRACE_VERSION,
+              "meta": meta}
+    lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+    for op in ops:
+        record = {}
+        data = asdict(op)
+        for short, field in _JSON_KEYS:
+            value = data[field]
+            if field in _DEFAULTS and value == _DEFAULTS[field]:
+                continue
+            record[short] = value
+        lines.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+    return ("\n".join(lines) + "\n").encode()
+
+
+def _decode_jsonl(blob: bytes) -> Tuple[Dict[str, object], List[TraceOp]]:
+    lines = blob.decode().splitlines()
+    if not lines:
+        raise ReproError("trace file is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != "repro.trace":
+        raise ReproError(
+            f"not a repro.trace file (header {lines[0][:60]!r})")
+    _check_version(header.get("version"))
+    ops = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        fields = {field: raw.get(short, _DEFAULTS.get(field))
+                  for short, field in _JSON_KEYS}
+        ops.append(TraceOp(**fields).validate())
+    return header.get("meta", {}), ops
+
+
+def _encode_binary(ops: Iterable[TraceOp], meta: Dict[str, object]) -> bytes:
+    meta_blob = json.dumps(meta, sort_keys=True,
+                           separators=(",", ":")).encode()
+    parts = [TRACE_MAGIC, _HEADER.pack(TRACE_VERSION, len(meta_blob)),
+             meta_blob]
+    for op in ops:
+        stream = op.stream.encode("latin-1")
+        key = op.key_bytes()
+        parts.append(_RECORD.pack(
+            op.t, LAYERS.index(op.layer), KINDS.index(op.kind),
+            len(stream), len(key), op.lba, op.sectors, op.size, op.fill))
+        parts.append(stream)
+        parts.append(key)
+    return b"".join(parts)
+
+
+def _decode_binary(blob: bytes) -> Tuple[Dict[str, object], List[TraceOp]]:
+    if blob[:4] != TRACE_MAGIC:
+        raise ReproError(
+            f"not a binary repro.trace file (magic {blob[:4]!r})")
+    version, meta_len = _HEADER.unpack_from(blob, 4)
+    _check_version(version)
+    offset = 4 + _HEADER.size
+    meta = json.loads(blob[offset:offset + meta_len].decode())
+    offset += meta_len
+    ops = []
+    total = len(blob)
+    while offset < total:
+        try:
+            (t, layer, kind, stream_len, key_len, lba, sectors, size,
+             fill) = _RECORD.unpack_from(blob, offset)
+        except struct.error:
+            raise ReproError(
+                f"truncated trace record at byte {offset}") from None
+        offset += _RECORD.size
+        stream = blob[offset:offset + stream_len].decode("latin-1")
+        offset += stream_len
+        key = blob[offset:offset + key_len].decode("latin-1")
+        offset += key_len
+        if layer >= len(LAYERS) or kind >= len(KINDS):
+            raise ReproError(
+                f"trace record at byte {offset}: unknown layer/kind "
+                f"codes ({layer}, {kind})")
+        ops.append(TraceOp(t=t, layer=LAYERS[layer], kind=KINDS[kind],
+                           stream=stream, key=key, lba=lba,
+                           sectors=sectors, size=size, fill=fill))
+    return meta, ops
+
+
+def _check_version(version: object) -> None:
+    if version != TRACE_VERSION:
+        raise ReproError(
+            f"trace version {version!r} is not supported "
+            f"(this build reads version {TRACE_VERSION})")
+
+
+def write_trace(path: str, ops: Iterable[TraceOp],
+                meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Write *ops* to *path*; codec chosen by suffix (``.jsonl``/``.json``
+    → JSONL, anything else → binary).  Returns the header meta dict."""
+    meta = dict(meta or {})
+    meta.setdefault("version", TRACE_VERSION)
+    ops = list(ops)
+    meta["op_count"] = len(ops)
+    if path.endswith((".jsonl", ".json")):
+        blob = _encode_jsonl(ops, meta)
+    else:
+        blob = _encode_binary(ops, meta)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return meta
+
+
+def read_trace(path: str) -> Tuple[Dict[str, object], List[TraceOp]]:
+    """Read a trace; the codec is sniffed from the magic, not the suffix.
+
+    Returns ``(meta, ops)``; raises :class:`ReproError` on wrong magic,
+    unsupported version, or truncated/invalid records.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if blob[:4] == TRACE_MAGIC:
+        return _decode_binary(blob)
+    return _decode_jsonl(blob)

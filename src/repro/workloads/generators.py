@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
+from repro.errors import ReproError
 from repro.units import KIB, MIB
 
 
@@ -47,7 +48,12 @@ class KeyValueGenerator:
 
     def __init__(self, key_size: int = 16, value_size: int = 1024):
         if key_size < 4:
-            raise ValueError(f"key_size must be >= 4, got {key_size}")
+            raise ReproError(
+                f"KeyValueGenerator: key_size must be >= 4, got {key_size}")
+        if value_size < 1:
+            raise ReproError(
+                f"KeyValueGenerator: value_size must be >= 1, "
+                f"got {value_size}")
         self.key_size = key_size
         self.value_size = value_size
 
@@ -89,7 +95,10 @@ class RandomWriteWorkload:
                  min_bytes: int = 4 * KIB, max_bytes: int = 1 * MIB,
                  seed: int = 0, stream: str = ""):
         if lba_space < max_bytes // sector_size:
-            raise ValueError("LBA space smaller than the largest write")
+            raise ReproError(
+                f"RandomWriteWorkload: lba_space ({lba_space} sectors) is "
+                f"smaller than the largest write "
+                f"({max_bytes // sector_size} sectors)")
         self.lba_space = lba_space
         self.sector_size = sector_size
         self.min_sectors = max(1, min_bytes // sector_size)
@@ -121,7 +130,10 @@ class RandomReadWorkload:
                  min_bytes: int = 4 * KIB, max_bytes: int = 4 * KIB,
                  seed: int = 0, stream: str = ""):
         if lba_space < max_bytes // sector_size:
-            raise ValueError("LBA space smaller than the largest read")
+            raise ReproError(
+                f"RandomReadWorkload: lba_space ({lba_space} sectors) is "
+                f"smaller than the largest read "
+                f"({max_bytes // sector_size} sectors)")
         self.lba_space = lba_space
         self.sector_size = sector_size
         self.min_sectors = max(1, min_bytes // sector_size)
@@ -146,9 +158,12 @@ class ZipfianKeyChooser:
     def __init__(self, key_space: int, theta: float = 0.99, seed: int = 0,
                  stream: str = ""):
         if key_space < 1:
-            raise ValueError(f"key_space must be >= 1, got {key_space}")
+            raise ReproError(
+                f"ZipfianKeyChooser: key_space must be >= 1, "
+                f"got {key_space}")
         if not 0 < theta < 2:
-            raise ValueError(f"theta must be in (0, 2), got {theta}")
+            raise ReproError(
+                f"ZipfianKeyChooser: theta must be in (0, 2), got {theta}")
         self.key_space = key_space
         self._rng = random.Random(derive_stream_seed(seed, stream))
         weights = [1.0 / (rank ** theta)

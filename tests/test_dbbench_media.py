@@ -3,7 +3,7 @@ in-simulation clients."""
 
 import pytest
 
-from repro.errors import MediaError
+from repro.errors import MediaError, ReproError
 from repro.lsm import DB, DBConfig, DbBench, MemEnv
 from repro.nand import FlashGeometry
 from repro.ocssd import (
@@ -53,7 +53,7 @@ class TestDbBench:
     def test_read_random_requires_population(self):
         __, db = make_mem_db()
         bench = DbBench(db)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError, match="key_space"):
             bench.read_random(clients=1, ops_per_client=10)
 
     def test_read_random_deterministic_per_seed(self):

@@ -8,7 +8,7 @@ from repro.contract import (
     PerformanceContract,
     characterize_device,
 )
-from repro.errors import ContractViolation
+from repro.errors import ContractViolation, ReproError
 from repro.landscape import (
     FTL_ABSTRACTIONS,
     FTL_PLACEMENTS,
@@ -169,7 +169,7 @@ class TestWorkloads:
         assert head > 0.2 * len(samples)   # heavy head
 
     def test_zipfian_parameters_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError, match="key_space"):
             ZipfianKeyChooser(0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError, match="theta"):
             ZipfianKeyChooser(10, theta=2.5)

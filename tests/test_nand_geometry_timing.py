@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import GeometryError
-from repro.nand import CellType, FlashGeometry, NandTiming, timing_for
+from repro.nand import (
+    CellType,
+    FlashGeometry,
+    NandTiming,
+    SampledNandTiming,
+    timing_for,
+)
 from repro.units import KIB, MIB
 
 
@@ -80,3 +86,61 @@ class TestNandTiming:
         assert timing.read_time(4) == pytest.approx(4 * timing.read_latency)
         assert timing.program_time(3) == pytest.approx(
             3 * timing.program_latency)
+
+
+class TestSampledNandTiming:
+    """The jittered timing model: seeded, mean-preserving, opt-in."""
+
+    def _timing(self, seed=7):
+        base = timing_for(CellType.TLC)
+        return SampledNandTiming(
+            read_latency=base.read_latency,
+            program_latency=base.program_latency,
+            erase_latency=base.erase_latency,
+            read_sigma=0.1, program_sigma=0.1, erase_sigma=0.1, seed=seed)
+
+    def test_same_seed_same_latency_sequence(self):
+        first = self._timing(seed=7)
+        second = self._timing(seed=7)
+        ops = [first.read_time() for __ in range(50)]
+        ops += [first.program_time() for __ in range(50)]
+        ops += [first.erase_time() for __ in range(20)]
+        replay = [second.read_time() for __ in range(50)]
+        replay += [second.program_time() for __ in range(50)]
+        replay += [second.erase_time() for __ in range(20)]
+        assert ops == replay
+
+    def test_different_seed_different_sequence(self):
+        assert ([self._timing(seed=1).read_time() for __ in range(20)]
+                != [self._timing(seed=2).read_time() for __ in range(20)])
+
+    def test_zero_sigma_is_bit_identical_to_base(self):
+        base = timing_for(CellType.TLC)
+        flat = SampledNandTiming(
+            read_latency=base.read_latency,
+            program_latency=base.program_latency,
+            erase_latency=base.erase_latency, seed=3)
+        for __ in range(10):
+            assert flat.read_time(2) == base.read_time(2)
+            assert flat.program_time(3) == base.program_time(3)
+            assert flat.erase_time() == base.erase_time()
+
+    def test_jitter_is_mean_preserving(self):
+        timing = self._timing(seed=11)
+        samples = [timing.read_time() for __ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(timing.read_latency, rel=0.02)
+        assert min(samples) < timing.read_latency < max(samples)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SampledNandTiming(read_latency=1e-5, program_latency=1e-4,
+                              erase_latency=1e-3, read_sigma=-0.1)
+
+    def test_multi_plane_read_scales_before_jitter(self):
+        timing = self._timing(seed=5)
+        single = [self._timing(seed=5).read_time(1) for __ in range(1)][0]
+        triple = timing.read_time(3)
+        # Same seed, first draw: the jitter factor is identical, so the
+        # page count scales the result linearly.
+        assert triple == pytest.approx(3 * single)

@@ -11,9 +11,13 @@ stable.
 
 import math
 
+import pytest
+
+from repro.errors import ReproError
 from repro.units import KIB, MIB
 from repro.workloads import (
     KeyValueGenerator,
+    RandomReadWorkload,
     RandomWriteWorkload,
     ZipfianKeyChooser,
 )
@@ -142,3 +146,33 @@ class TestKeyValueGenerator:
         for value in values:
             assert 33 <= value[0] <= 122
         assert generator.value(7) == generator.value(7)
+
+
+class TestValidationErrors:
+    """Bad parameters raise ReproError naming the class and field."""
+
+    def test_key_value_generator_key_size(self):
+        with pytest.raises(ReproError, match="KeyValueGenerator.*key_size"):
+            KeyValueGenerator(key_size=3)
+
+    def test_key_value_generator_value_size(self):
+        with pytest.raises(ReproError, match="KeyValueGenerator.*value_size"):
+            KeyValueGenerator(value_size=0)
+
+    def test_random_write_lba_space(self):
+        with pytest.raises(ReproError,
+                           match="RandomWriteWorkload.*lba_space"):
+            RandomWriteWorkload(lba_space=4, max_bytes=1 * MIB)
+
+    def test_random_read_lba_space(self):
+        with pytest.raises(ReproError,
+                           match="RandomReadWorkload.*lba_space"):
+            RandomReadWorkload(lba_space=0, max_bytes=4 * KIB)
+
+    def test_zipfian_key_space(self):
+        with pytest.raises(ReproError, match="ZipfianKeyChooser.*key_space"):
+            ZipfianKeyChooser(key_space=0)
+
+    def test_zipfian_theta(self):
+        with pytest.raises(ReproError, match="ZipfianKeyChooser.*theta"):
+            ZipfianKeyChooser(key_space=10, theta=2.5)
