@@ -33,6 +33,9 @@ python scripts/cluster_guard.py
 echo "== trace guard (record/replay identity + calibration + overhead) =="
 python scripts/trace_guard.py
 
+echo "== policy guard (default-policy identity + WAF ablation smoke) =="
+python scripts/policy_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

@@ -39,6 +39,7 @@ from repro.ox.ftl.serial import NO_PPA
 from repro.ox.ftl.wal import WalAppender
 from repro.ox.ftl.writebuffer import PAD_LBA, PendingUnit, WriteBuffer
 from repro.ox.media import MediaManager
+from repro.policies import resolve_placement_policy, resolve_victim_policy
 from repro.sim.resources import Resource
 
 
@@ -60,6 +61,13 @@ class BlockConfig:
     #: Vector backend for the page map's bulk snapshot paths:
     #: "array" (stdlib, default) or "numpy" (errors if not installed).
     map_backend: str = "array"
+    #: GC victim-selection policy (repro.policies): default | greedy |
+    #: cost_benefit | age_partitioned.  "default" is greedy, bit-identical
+    #: to the historical collector.
+    gc_policy: str = "default"
+    #: Allocation placement policy (repro.policies): default | striped |
+    #: stream_partitioned | hotcold.  "default" is striped.
+    placement_policy: str = "default"
 
 
 @dataclass
@@ -115,7 +123,9 @@ class OXBlock:
             self._take_txn_id,
             volatile_pending=lambda: bool(self.buffer.partial_units()),
             stabilize_proc=self._gc_stabilize_proc,
-            wal_relief_proc=self._checkpoint_on_pressure_proc)
+            wal_relief_proc=self._checkpoint_on_pressure_proc,
+            victim_policy=resolve_victim_policy(config.gc_policy),
+            host_sectors_written=lambda: self.stats.sectors_written)
         self._gc_wakeup = self.sim.event()
         self._daemons = []
         if config.gc_enabled:
@@ -148,7 +158,9 @@ class OXBlock:
         page_map = PageMap(backend=config.map_backend)
         chunk_table = ChunkTable(media.geometry,
                                  iter(layout.data_chunk_keys()))
-        provisioner = Provisioner(media.geometry, chunk_table)
+        provisioner = Provisioner(
+            media.geometry, chunk_table,
+            placement=resolve_placement_policy(config.placement_policy))
         ftl = cls(media, config, layout, page_map, chunk_table, provisioner,
                   next_txn_id=1, epoch=0)
         ftl.sim.run_until(ftl.sim.spawn(ftl._checkpoint_locked_proc()))
@@ -171,7 +183,8 @@ class OXBlock:
         state = sim.run_until(sim.spawn(recover_proc(
             media, layout,
             replay_cpu_per_record=config.replay_cpu_per_record,
-            map_backend=config.map_backend)))
+            map_backend=config.map_backend,
+            placement=resolve_placement_policy(config.placement_policy))))
         ftl = cls(media, config, layout, state.page_map, state.chunk_table,
                   state.provisioner, next_txn_id=state.next_txn_id,
                   epoch=state.epoch)
@@ -598,22 +611,31 @@ class OXBlock:
         :class:`OutOfSpaceError` when collection cannot free enough.
         """
         stalled = 0
-        while self.provisioner.sectors_available("user") < sectors:
-            before = self.provisioner.sectors_available("user")
-            progressed = yield from self.gc.collect_once_locked_proc()
-            # "Recycled a chunk" is not the same as "freed space": on a
-            # device full of live data GC can relocate a nearly-live
-            # victim and spend as many sectors as it frees, forever.
-            # Tolerate one zero-gain round (the gain can land a round
-            # late when relocation opens a fresh gc chunk), then give up.
-            if progressed \
-                    and self.provisioner.sectors_available("user") > before:
-                stalled = 0
-                continue
-            stalled += 1
-            if not progressed or stalled > 1:
-                raise OutOfSpaceError(
-                    f"cannot reclaim {sectors} sectors for stream 'user'")
+        obs = self.obs
+        stall_started = self.sim.now if obs is not None else 0.0
+        try:
+            while self.provisioner.sectors_available("user") < sectors:
+                before = self.provisioner.sectors_available("user")
+                progressed = yield from self.gc.collect_once_locked_proc()
+                # "Recycled a chunk" is not the same as "freed space": on a
+                # device full of live data GC can relocate a nearly-live
+                # victim and spend as many sectors as it frees, forever.
+                # Tolerate one zero-gain round (the gain can land a round
+                # late when relocation opens a fresh gc chunk), then give up.
+                if progressed \
+                        and self.provisioner.sectors_available("user") > before:
+                    stalled = 0
+                    continue
+                stalled += 1
+                if not progressed or stalled > 1:
+                    raise OutOfSpaceError(
+                        f"cannot reclaim {sectors} sectors for stream 'user'")
+        finally:
+            if obs is not None:
+                # The foreground GC stall (the write that paid for
+                # reclamation inline) — what the policy ablation reports.
+                obs.metrics.histogram("ftl.gc.stall_s").record(
+                    self.sim.now - stall_started)
 
     def _gc_stabilize_proc(self):
         """Durability barrier for GC: after this, every acked transaction

@@ -40,6 +40,7 @@ from repro.ox.ftl.provisioning import Provisioner
 from repro.ox.ftl.serial import NO_PPA
 from repro.ox.ftl.wal import WalAppender
 from repro.ox.media import MediaManager
+from repro.policies.victim import GreedyVictimPolicy, VictimPolicy
 
 ChunkKey = Tuple[int, int, int]
 
@@ -70,7 +71,9 @@ class GarbageCollector:
                  wal: WalAppender, next_txn_id: Callable[[], int],
                  volatile_pending: Optional[Callable[[], bool]] = None,
                  stabilize_proc: Optional[Callable] = None,
-                 wal_relief_proc: Optional[Callable] = None):
+                 wal_relief_proc: Optional[Callable] = None,
+                 victim_policy: Optional[VictimPolicy] = None,
+                 host_sectors_written: Optional[Callable[[], int]] = None):
         self.media = media
         self.sim = media.sim
         # Observability (repro.obs): inherited from the simulator; None
@@ -100,20 +103,53 @@ class GarbageCollector:
         self.wal_relief_proc = wal_relief_proc
         self.marked_group = 0
         self.stats = GcStats()
+        # Victim selection is a policy (repro.policies): the default
+        # greedy ordering is bit-identical to the historical collector.
+        self.victim_policy = victim_policy if victim_policy is not None \
+            else GreedyVictimPolicy()
+        # Host write accounting for the WAF gauge ((host + relocated) /
+        # host); None leaves the gauge unset (no host counter to cite).
+        self.host_sectors_written = host_sectors_written
 
     # -- victim selection ----------------------------------------------------------
 
+    def victims(self, group: int) -> List[FtlChunkInfo]:
+        """The group's GC candidates, in the victim policy's order."""
+        return self.victim_policy.select(
+            self.chunk_table.gc_candidates(group), self.chunk_table)
+
     def pick_victim(self) -> Optional[FtlChunkInfo]:
-        """The most-invalid FULL chunk of the marked group; rotates the
-        marked group when the current one has nothing to collect."""
+        """The victim policy's first choice in the marked group; rotates
+        the marked group when the current one has nothing to collect."""
         for __ in range(self.geometry.num_groups):
-            victims = self.chunk_table.victims_in_group(self.marked_group)
+            victims = self.victims(self.marked_group)
             if victims:
                 return victims[0]
             self.marked_group = (self.marked_group + 1) \
                 % self.geometry.num_groups
             self.stats.group_rotations += 1
         return None
+
+    # -- accounting (GcStats mirrored into the obs registry) ---------------------
+
+    def _count_skip_no_space(self) -> None:
+        self.stats.skips_no_space += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("ftl.gc.skips_no_space").increment()
+
+    def _count_deferral_unsafe(self) -> None:
+        self.stats.deferrals_unsafe += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("ftl.gc.deferrals_unsafe").increment()
+
+    def _update_waf_gauge(self) -> None:
+        """Refresh ``ftl.gc.waf``: (host + relocated) / host sectors."""
+        if self.obs is None or self.host_sectors_written is None:
+            return
+        host = self.host_sectors_written()
+        if host:
+            self.obs.metrics.gauge("ftl.gc.waf").set(
+                (host + self.stats.sectors_relocated) / host)
 
     def _fits(self, victim: FtlChunkInfo) -> bool:
         """Would the victim's live data fit in its group's GC space?
@@ -140,10 +176,9 @@ class GarbageCollector:
         instead of raising out of the daemon.
         """
         for __ in range(self.geometry.num_groups):
-            for victim in self.chunk_table.victims_in_group(
-                    self.marked_group):
+            for victim in self.victims(self.marked_group):
                 if not self._fits(victim):
-                    self.stats.skips_no_space += 1
+                    self._count_skip_no_space()
                     break
                 done = yield from self._relocate_and_reset_proc(victim)
                 if done:
@@ -162,9 +197,9 @@ class GarbageCollector:
         recycled = 0
         while not max_victims or recycled < max_victims:
             progressed = False
-            for victim in self.chunk_table.victims_in_group(group):
+            for victim in self.victims(group):
                 if not self._fits(victim):
-                    self.stats.skips_no_space += 1
+                    self._count_skip_no_space()
                     break
                 done = yield from self._relocate_and_reset_proc(victim)
                 if done:
@@ -234,10 +269,9 @@ class GarbageCollector:
                 except OutOfSpaceError:
                     # Padding the partial unit needs an allocation; when
                     # even that fails, the victim cannot be made safe.
-                    self.stats.deferrals_unsafe += 1
+                    self._count_deferral_unsafe()
                     if obs is not None:
                         obs.end(span, outcome="deferred")
-                        obs.metrics.counter("ftl.gc.deferrals").increment()
                     return False
             # The barrier may have padded a staged partial unit into this
             # very victim (its volatile tail is what made it unsafe),
@@ -248,10 +282,9 @@ class GarbageCollector:
             live, unsafe = yield from self._find_live_sectors_proc(
                 key, info.write_pointer, parent=span)
             if unsafe or self.volatile_pending():
-                self.stats.deferrals_unsafe += 1
+                self._count_deferral_unsafe()
                 if obs is not None:
                     obs.end(span, outcome="deferred")
-                    obs.metrics.counter("ftl.gc.deferrals").increment()
                 return False
         if live:
             moved = yield from self._relocate_proc(key, live, parent=span)
@@ -281,6 +314,7 @@ class GarbageCollector:
             obs.metrics.counter("ftl.gc.chunks_recycled").increment()
             obs.metrics.histogram("ftl.gc.collect_s").record(
                 self.sim.now - collect_started)
+        self._update_waf_gauge()
         return True
 
     def _find_live_sectors_proc(self, key: ChunkKey, write_pointer: int,
@@ -354,7 +388,7 @@ class GarbageCollector:
                     dst, [b""] * len(dst), oob=[NO_PPA] * len(dst),
                     parent=parent)
                 self.media.require_ok(completion, "GC relocation abort pad")
-            self.stats.skips_no_space += 1
+            self._count_skip_no_space()
             return False
         completion = yield from self.media.copy_proc(src, dst,
                                                      dst_oob=list(lbas),

@@ -39,6 +39,15 @@ class FtlChunkInfo:
     valid_count: int = 0
     write_next: int = 0   # next sector the FTL will write in this chunk
     linear: int = 0       # linearized chunk index, fixed at registration
+    # Age bookkeeping for victim-selection policies (repro.policies):
+    # logical stamps from the table's clock, not simulated seconds — GC
+    # cares about ordering, and integer ticks cost nothing on the write
+    # path.  Stamps are volatile (not checkpointed): after recovery all
+    # ages restart at zero and cost-benefit degrades to greedy until
+    # new writes re-establish the ordering.
+    write_seq: int = 0    # table clock when the chunk last absorbed a write
+    erase_seq: int = 0    # table clock at the chunk's last erase (release)
+    erase_count: int = 0  # erases survived (wear input for policies)
 
 
 class ChunkTable:
@@ -54,6 +63,9 @@ class ChunkTable:
             key: FtlChunkInfo(key=key,
                               linear=(key[0] * pus + key[1]) * per_pu + key[2])
             for key in data_chunks}
+        # The logical clock behind chunk age: ticks once per validity
+        # gain, so "age" means "writes ago", independent of timing model.
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -73,11 +85,28 @@ class ChunkTable:
     def values(self) -> Iterator[FtlChunkInfo]:
         return iter(self._chunks.values())
 
+    # -- the policy clock ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Sectors per chunk (the validity ceiling)."""
+        return self._capacity
+
+    def clock(self) -> int:
+        """The current logical time (monotone, advances on writes)."""
+        return self._seq
+
+    def tick(self) -> int:
+        self._seq += 1
+        return self._seq
+
     # -- validity accounting ------------------------------------------------------
 
     def add_valid(self, key: ChunkKey, count: int = 1) -> None:
         info = self.get(key)
         info.valid_count += count
+        self._seq += 1
+        info.write_seq = self._seq
         capacity = self._capacity
         if info.valid_count > capacity:
             raise FTLError(
@@ -92,15 +121,22 @@ class ChunkTable:
 
     # -- GC support -------------------------------------------------------------------
 
-    def victims_in_group(self, group: int) -> List[FtlChunkInfo]:
-        """FULL chunks of *group* with at least one invalid sector, most
-        invalid first — the GC victim-selection order."""
+    def gc_candidates(self, group: int) -> List[FtlChunkInfo]:
+        """FULL chunks of *group* with at least one invalid sector, in
+        table (linear) order — the raw pool a victim policy orders."""
         capacity = self.geometry.sectors_per_chunk
-        candidates = [info for key, info in self._chunks.items()
-                      if key[0] == group
-                      and info.state is FtlChunkState.FULL
-                      and info.valid_count < capacity]
-        return sorted(candidates, key=lambda info: info.valid_count)
+        return [info for key, info in self._chunks.items()
+                if key[0] == group
+                and info.state is FtlChunkState.FULL
+                and info.valid_count < capacity]
+
+    def victims_in_group(self, group: int) -> List[FtlChunkInfo]:
+        """GC candidates of *group*, most invalid first — the greedy
+        (default) victim-selection order.  The tie-break on the linear
+        index is explicit so victim order — and therefore replay — is
+        stable no matter how the candidate list was produced."""
+        return sorted(self.gc_candidates(group),
+                      key=lambda info: (info.valid_count, info.linear))
 
     def free_count(self) -> int:
         return sum(1 for info in self._chunks.values()

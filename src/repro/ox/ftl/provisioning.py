@@ -23,6 +23,7 @@ from repro.errors import FTLError, OutOfSpaceError
 from repro.ocssd.address import Ppa
 from repro.ocssd.geometry import DeviceGeometry
 from repro.ox.ftl.metadata import ChunkTable, FtlChunkInfo, FtlChunkState
+from repro.policies.placement import PlacementPolicy, StripedPlacement
 
 ChunkKey = Tuple[int, int, int]
 PuKey = Tuple[int, int]
@@ -97,9 +98,15 @@ class Provisioner:
     """Allocates data-region space in write units, per stream."""
 
     def __init__(self, geometry: DeviceGeometry, table: ChunkTable,
-                 gc_headroom: int = 0):
+                 gc_headroom: int = 0,
+                 placement: Optional[PlacementPolicy] = None):
         self.geometry = geometry
         self.table = table
+        # Placement policy (repro.policies): owns the PU ordering of
+        # every allocation.  The default striped policy reproduces the
+        # legacy round-robin bit-for-bit.
+        self.placement = placement if placement is not None \
+            else StripedPlacement()
         # Free chunks per group that only the "gc" stream may open: GC
         # runs *because* space is low, so without a reservation the
         # collector can find victims but no destination to move their
@@ -127,13 +134,10 @@ class Provisioner:
             self._streams[name] = _StreamState()
         return self._streams[name]
 
-    def _pu_cycle(self, state: _StreamState,
+    def _pu_cycle(self, stream: str, state: _StreamState,
                   group: Optional[int]) -> List[PuKey]:
-        pus = (self._all_pus if group is None
-               else [pu for pu in self._all_pus if pu[0] == group])
-        start = state.pu_index % len(pus)
-        state.pu_index += 1
-        return pus[start:] + pus[:start]
+        return self.placement.pu_cycle(stream, state, group,
+                                       self._all_pus, self)
 
     # -- allocation ---------------------------------------------------------------
 
@@ -147,7 +151,7 @@ class Provisioner:
         state = self._stream(stream)
         ws_min = self.geometry.ws_min
         headroom = self.gc_headroom if stream != "gc" else 0
-        for pu in self._pu_cycle(state, group):
+        for pu in self._pu_cycle(stream, state, group):
             key = state.open_chunks.get(pu)
             if key is None:
                 if not self._free[pu]:
@@ -205,6 +209,8 @@ class Provisioner:
                 f"releasing chunk {key} with {info.valid_count} valid sectors")
         info.state = FtlChunkState.FREE
         info.write_next = 0
+        info.erase_seq = self.table.clock()
+        info.erase_count += 1
         self._free[(key[0], key[1])].append(key)
         self._group_free_count[key[0]] += 1
 
@@ -225,6 +231,11 @@ class Provisioner:
         return sum(self._group_free_count.values())
 
     def _group_free(self, group: int) -> int:
+        return self._group_free_count.get(group, 0)
+
+    def group_free(self, group: int) -> int:
+        """Free chunks currently in *group* (placement policies use
+        this to steer their preference order)."""
         return self._group_free_count.get(group, 0)
 
     def units_available(self, stream: str = "user",

@@ -63,9 +63,12 @@ class RecoveredState:
 
 def recover_proc(media: MediaManager, layout: MetadataLayout,
                  replay_cpu_per_record: float = 2e-6,
-                 map_backend: str = "array"):
+                 map_backend: str = "array",
+                 placement=None):
     """Process generator: rebuild FTL state from media; returns
-    :class:`RecoveredState`."""
+    :class:`RecoveredState`.  *placement* (a
+    :class:`repro.policies.PlacementPolicy`) seeds the rebuilt
+    provisioner; None keeps the default striped policy."""
     sim = media.sim
     started = sim.now
     report = RecoveryReport()
@@ -222,7 +225,7 @@ def recover_proc(media: MediaManager, layout: MetadataLayout,
             page_map.remove(lba)
         report.lost_lbas.extend(dropped)
 
-    provisioner = Provisioner(geometry, chunk_table)
+    provisioner = Provisioner(geometry, chunk_table, placement=placement)
     for key, write_pointer in open_candidates:
         provisioner.adopt_open_chunk(key, write_pointer, stream="user")
 

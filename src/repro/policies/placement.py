@@ -1,0 +1,147 @@
+"""Placement policies: how the provisioner spreads allocation streams
+over groups and parallel units.
+
+The provisioner allocates write units by walking a *PU cycle* — an
+ordered list of parallel units, first usable one wins.  A placement
+policy owns that ordering.  Policies express *preference*, not
+restriction: every cycle ends with the non-preferred PUs as fallback,
+so capacity semantics (``sectors_available``, out-of-space behavior)
+are identical across policies — only locality changes.  An explicit
+``group=`` hint (GC relocating within its victim's group) always wins
+over any preference: group-local GC is an invariant, not a policy.
+
+Three strategies:
+
+* **striped** — rotate across every PU, one step per allocation.  The
+  historical behavior, bit-identical; large writes stripe across chips.
+* **stream_partitioned** — each allocation stream is pinned to its own
+  group partition (streams are assigned partitions in first-use order),
+  so e.g. user data and any future cold/log streams never share a
+  group until their partition runs dry.  The group-granular cousin of
+  pblk's user/GC line separation.
+* **hotcold** — fill one group completely before advancing to the next
+  (per stream).  Data written together lands together, so temporally
+  correlated overwrites invalidate whole chunks instead of peppering
+  every group — SSDFS's GC-avoiding layout argument.  GC-relocated
+  (cold) data stays in its victim's group via the hint, away from the
+  hot frontier group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+PuKey = Tuple[int, int]
+
+
+class PlacementPolicy:
+    """Orders parallel units for one allocation; subclasses implement
+    :meth:`pu_cycle`.
+
+    Arguments mirror the provisioner's internals: *stream* is the
+    allocation stream name, *state* the stream's
+    :class:`~repro.ox.ftl.provisioning._StreamState` (its ``pu_index``
+    rotation cursor belongs to the policy), *group* the optional hard
+    confinement hint, *all_pus* every PU in geometry order, and
+    *provisioner* the caller (for free-space queries).  The first PU in
+    the returned cycle with space wins.
+    """
+
+    name = "?"
+
+    def pu_cycle(self, stream: str, state, group: Optional[int],
+                 all_pus: List[PuKey], provisioner) -> List[PuKey]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _rotate(state, pus: List[PuKey]) -> List[PuKey]:
+        start = state.pu_index % len(pus)
+        state.pu_index += 1
+        return pus[start:] + pus[:start]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StripedPlacement(PlacementPolicy):
+    """Round-robin over every PU (or the hinted group) — the default,
+    reproducing the legacy ``Provisioner._pu_cycle`` exactly."""
+
+    name = "striped"
+
+    def pu_cycle(self, stream, state, group, all_pus, provisioner):
+        pus = (all_pus if group is None
+               else [pu for pu in all_pus if pu[0] == group])
+        return self._rotate(state, pus)
+
+
+class StreamPartitionedPlacement(PlacementPolicy):
+    """Each stream prefers its own modular group partition.
+
+    Streams claim partitions in first-use order (deterministic: the
+    simulation discovers streams in a fixed order), wrapping when there
+    are more streams than partitions.  Stream *i* prefers groups
+    ``{g : g % partitions == i}``; everything else is fallback, so a
+    stream outgrowing its partition degrades to striping instead of
+    failing while free space remains elsewhere.
+    """
+
+    name = "stream_partitioned"
+
+    def __init__(self, partitions: int = 2):
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+        self._assigned: Dict[str, int] = {}
+
+    def _partition(self, stream: str) -> int:
+        if stream not in self._assigned:
+            self._assigned[stream] = len(self._assigned) % self.partitions
+        return self._assigned[stream]
+
+    def pu_cycle(self, stream, state, group, all_pus, provisioner):
+        if group is not None:
+            return self._rotate(
+                state, [pu for pu in all_pus if pu[0] == group])
+        slot = self._partition(stream)
+        modulus = min(self.partitions, provisioner.geometry.num_groups)
+        preferred = [pu for pu in all_pus if pu[0] % modulus == slot % modulus]
+        rest = [pu for pu in all_pus if pu[0] % modulus != slot % modulus]
+        return self._rotate(state, preferred) + rest
+
+    def assignments(self) -> Dict[str, int]:
+        """The stream -> partition map claimed so far (for reporting)."""
+        return dict(self._assigned)
+
+
+class HotColdPlacement(PlacementPolicy):
+    """Group-fill (temporal) segregation: one frontier group per stream.
+
+    Allocations stripe across the frontier group's PUs until that group
+    has nothing left to give this stream, then the frontier advances.
+    Consecutive writes — which tend to be overwritten together — share
+    chunks, so invalidation concentrates and victims come out nearly
+    empty; relocated survivors are by definition cold and stay in their
+    own (non-frontier) group via the GC group hint.
+    """
+
+    name = "hotcold"
+
+    def __init__(self):
+        self._frontier: Dict[str, int] = {}
+
+    def pu_cycle(self, stream, state, group, all_pus, provisioner):
+        if group is not None:
+            return self._rotate(
+                state, [pu for pu in all_pus if pu[0] == group])
+        num_groups = provisioner.geometry.num_groups
+        current = self._frontier.get(stream, 0)
+        for __ in range(num_groups):
+            if provisioner.group_free(current) > 0 or any(
+                    pu[0] == current for pu in state.open_chunks):
+                break
+            current = (current + 1) % num_groups
+        self._frontier[stream] = current
+        frontier = [pu for pu in all_pus if pu[0] == current]
+        rest = [pu for pu in all_pus if pu[0] != current]
+        return self._rotate(state, frontier) + rest

@@ -33,6 +33,7 @@ from repro.nand import (
 from repro.obs import Obs
 from repro.ocssd import DeviceGeometry, OpenChannelSSD
 from repro.ox import BlockConfig, EleosConfig, MediaManager, OXBlock, OXEleos
+from repro.policies import WlfcConfig, WriteLessCache
 from repro.qos import (
     PARTITIONED, QosScheduler, SHARED, TenantContext, TenantRegistry,
     plan_placement)
@@ -62,6 +63,7 @@ class Stack:
     env: Optional[object] = None          # StorageEnv
     engine: Optional[LlamaEngine] = None
     db: Optional[DB] = None
+    wlfc: Optional[WriteLessCache] = None  # host="wlfc" only
 
     @property
     def sim(self):
@@ -193,8 +195,13 @@ def build_stack(spec: StackSpec) -> Stack:
     if spec.ftl == "oxblock":
         ftl_config = dict(spec.ftl_config)
         ftl_config.setdefault("map_backend", spec.vector_backend)
+        ftl_config.setdefault("gc_policy", spec.gc_policy)
+        ftl_config.setdefault("placement_policy", spec.placement_policy)
         config = _config_from(BlockConfig, ftl_config, "ftl_config")
         stack.ftl = OXBlock.format(stack.media, config)
+        if host == "wlfc":
+            stack.wlfc = WriteLessCache(
+                stack.ftl, _config_from(WlfcConfig, spec.wlfc, "wlfc"))
         if host == "db":
             chunks = spec.table_chunks or 32
             stack.env = BlockDevEnv(

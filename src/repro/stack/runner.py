@@ -51,7 +51,9 @@ def _raw_workload(stack: Stack) -> Dict[str, object]:
     """The perf-trajectory shape: write-unit fills through the FTL's
     block API, then random single-sector reads over the filled span."""
     workload = stack.spec.workload
-    ftl = stack.ftl
+    # The write-less cache host exposes the same sync surface, so the
+    # raw workload drives it transparently when the spec asked for it.
+    ftl = stack.wlfc if stack.wlfc is not None else stack.ftl
     if ftl is None or not hasattr(ftl, "write"):
         raise ReproError(
             f"workload 'raw_fill_read' needs a block FTL, "
@@ -127,6 +129,12 @@ def run_spec(spec: StackSpec,
         metrics = _db_workload(stack)
     metrics["sim_seconds"] = round(stack.sim.now, 9)
     metrics["events_processed"] = stack.sim.events_processed
+    if stack.wlfc is not None:
+        wstats = stack.wlfc.stats
+        metrics["wlfc_host_sectors"] = wstats.host_sectors_written
+        metrics["wlfc_flash_sectors"] = wstats.flash_sectors_written
+        metrics["wlfc_absorbed_rewrites"] = wstats.absorbed_rewrites
+        metrics["wlfc_write_reduction"] = round(wstats.write_reduction, 4)
     if stack.faults is not None:
         metrics["media_ops"] = stack.faults.stats.media_ops
         metrics["power_cuts"] = stack.faults.stats.power_cuts

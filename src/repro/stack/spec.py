@@ -25,12 +25,16 @@ from repro.errors import ReproError
 from repro.nand import CellType
 
 FTL_FLAVORS = ("oxblock", "eleos", "zns", "lightlsm", "none")
-HOSTS = ("auto", "db", "llama", "none")
+HOSTS = ("auto", "db", "llama", "wlfc", "none")
 PLACEMENTS = ("horizontal", "vertical")
 QOS_POLICIES = ("partitioned", "shared")
 #: Mirrors repro.ox.ftl.mapping.VECTOR_BACKENDS (kept literal so spec
 #: validation does not import FTL modules).
 VECTOR_BACKENDS = ("array", "numpy")
+#: Mirror of the repro.policies registries (kept literal for the same
+#: reason; tests assert the two stay in sync).
+GC_POLICIES = ("default", "greedy", "cost_benefit", "age_partitioned")
+PLACEMENT_POLICIES = ("default", "striped", "stream_partitioned", "hotcold")
 WORKLOADS = ("fill_sequential", "fill_then_read_random",
              "fill_then_read_sequential", "raw_fill_read", "trace", "none")
 PACINGS = ("afap", "recorded")
@@ -207,8 +211,17 @@ class StackSpec:
     ftl_config: Dict[str, object] = field(default_factory=dict)
     #: LightLSM data placement (Figures 5/6): horizontal | vertical.
     placement: str = "horizontal"
-    #: Host above the FTL: auto | db | llama | none.
+    #: GC victim selection for ftl="oxblock" (repro.policies):
+    #: default | greedy | cost_benefit | age_partitioned.
+    gc_policy: str = "default"
+    #: PU allocation order for ftl="oxblock" (repro.policies):
+    #: default | striped | stream_partitioned | hotcold.
+    placement_policy: str = "default"
+    #: Host above the FTL: auto | db | llama | wlfc | none.  "wlfc"
+    #: layers the write-less cache over a bare oxblock LBA API.
     host: str = "auto"
+    #: Kwargs for :class:`repro.policies.WlfcConfig` (host="wlfc").
+    wlfc: Dict[str, object] = field(default_factory=dict)
     #: Kwargs for :class:`repro.lsm.DBConfig` (host="db").
     db: Dict[str, object] = field(default_factory=dict)
     #: Kwargs for :class:`repro.llama.LlamaConfig` (host="llama").
@@ -262,6 +275,20 @@ class StackSpec:
         _check(self.vector_backend in VECTOR_BACKENDS,
                f"unknown vector backend {self.vector_backend!r}; "
                f"expected one of {VECTOR_BACKENDS}")
+        _check(self.gc_policy in GC_POLICIES,
+               f"unknown gc_policy {self.gc_policy!r}; "
+               f"expected one of {GC_POLICIES}")
+        _check(self.placement_policy in PLACEMENT_POLICIES,
+               f"unknown placement_policy {self.placement_policy!r}; "
+               f"expected one of {PLACEMENT_POLICIES}")
+        if self.gc_policy != "default":
+            _check(self.ftl == "oxblock",
+                   f"gc_policy {self.gc_policy!r} needs ftl 'oxblock', "
+                   f"not {self.ftl!r}")
+        if self.placement_policy != "default":
+            _check(self.ftl == "oxblock",
+                   f"placement_policy {self.placement_policy!r} needs "
+                   f"ftl 'oxblock', not {self.ftl!r}")
         self.geometry.validate()
         for tenant in self.tenants:
             tenant.validate()
@@ -281,6 +308,10 @@ class StackSpec:
         if host == "llama":
             _check(self.ftl == "eleos",
                    f"host 'llama' runs over the eleos FTL, not {self.ftl!r}")
+        if host == "wlfc":
+            _check(self.ftl == "oxblock",
+                   f"host 'wlfc' caches the oxblock sync LBA API, "
+                   f"not {self.ftl!r}")
         return self
 
     @property
