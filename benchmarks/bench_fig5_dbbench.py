@@ -43,6 +43,8 @@ def run_cell(placement_cls, clients):
         "levels": db.level_sizes(),
         "stall": fill.stall_seconds,
         "compactions": fill.compactions,
+        "slowdown_puts": fill.slowdown_puts,
+        "residency": fill.backpressure_residency,
     }
 
 
@@ -73,6 +75,16 @@ def test_fig5_dbbench_throughput(benchmark):
                 for c in CLIENTS)
             lines.append(f"{workload:>16s} {placement:>11s} | {row}")
     lines.append("")
+    lines.append("write-controller pressure during the fill "
+                 "(slowed puts; seconds in slowdown/stop):")
+    for placement in ("horizontal", "vertical"):
+        row = " | ".join(
+            f"{grid[(placement, c)]['slowdown_puts']:4d} "
+            f"{grid[(placement, c)]['residency'].get('slowdown', 0.0):5.2f}s/"
+            f"{grid[(placement, c)]['residency'].get('stop', 0.0):5.2f}s"
+            for c in CLIENTS)
+        lines.append(f"{'fill':>16s} {placement:>11s} | {row}")
+    lines.append("")
     sample = grid[("horizontal", 8)]
     lines.append(f"levels after fill (horizontal, 8 clients): "
                  f"{sample['levels']} — the paper reports 3 populated "
@@ -91,3 +103,64 @@ def test_fig5_dbbench_throughput(benchmark):
     # Horizontal dominates vertical for reads at high client counts.
     assert h[8]["readseq"] >= v[8]["readseq"]
     assert h[8]["readrand"] >= v[8]["readrand"]
+
+
+# -- worker-count sweep (the PR-10 concurrency axes) --------------------------
+
+#: Per-block dispatch CPU for the sweep.  The paper's LightLSM runs a
+#: single dispatch thread; the bottleneck only binds when submissions
+#: cost CPU comparable to a block program and several writers compete.
+SWEEP_DISPATCH_CPU = 2e-3
+SWEEP_OPS = 6_000
+#: (flush workers, compaction workers, dispatch workers).
+SWEEP_CONFIGS = ((1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2), (2, 2, 4))
+
+
+def run_worker_sweep():
+    rows = []
+    for fw, cw, dw in SWEEP_CONFIGS:
+        device, env, db = lightlsm_db(
+            HorizontalPlacement(), flush_workers=fw, compaction_workers=cw,
+            dispatch_workers=dw, dispatch_cpu=SWEEP_DISPATCH_CPU)
+        bench = DbBench(db)
+        fill = bench.fill_sequential(clients=4, ops_per_client=SWEEP_OPS)
+        bench.quiesce()
+        rows.append(((fw, cw, dw), fill))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_worker_sweep(benchmark):
+    """Single vs multi dispatch on the write-heavy phase: scaling the
+    flush, compaction and dispatch worker counts one axis at a time,
+    with a non-zero dispatch CPU so the single dispatch thread is an
+    actual bottleneck (§4.2's hypothesized limit)."""
+    rows = benchmark.pedantic(run_worker_sweep, rounds=1, iterations=1)
+
+    lines = ["Figure 5 (extension): fill-sequential vs worker counts",
+             f"(4 clients, {SWEEP_OPS} ops/client, dispatch CPU "
+             f"{SWEEP_DISPATCH_CPU * 1e3:.0f} ms/block, horizontal "
+             "placement)", ""]
+    header = (f"{'fw,cw,dw':>9s} | {'kops/s':>8s} | {'stall s':>8s} | "
+              f"{'slowed':>6s} | backpressure residency")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for (fw, cw, dw), fill in rows:
+        residency = " ".join(
+            f"{state}={seconds:.2f}s" for state, seconds in
+            sorted(fill.backpressure_residency.items()))
+        lines.append(f"{fw:>3d},{cw:>2d},{dw:>2d} | "
+                     f"{format_kops(fill.ops_per_sec)} | "
+                     f"{fill.stall_seconds:8.2f} | "
+                     f"{fill.slowdown_puts:6d} | {residency}")
+    report("fig5_worker_sweep", lines)
+
+    by_config = {config: fill for config, fill in rows}
+    single = by_config[(2, 2, 1)].ops_per_sec
+    multi = by_config[(2, 2, 2)].ops_per_sec
+    # The acceptance bar: a second dispatch worker recovers >= 1.2x on
+    # the write-heavy phase once dispatch CPU binds.
+    assert multi >= 1.2 * single
+    # Pipelined flushing alone must not be slower than the paper's
+    # single-daemon configuration.
+    assert by_config[(2, 1, 1)].ops_per_sec >= by_config[(1, 1, 1)].ops_per_sec

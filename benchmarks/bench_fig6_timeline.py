@@ -79,3 +79,61 @@ def test_fig6_fill_timeline(benchmark):
     # Vertical's 1-client run shows a peak well above its mean.
     rates_v1 = [rate for __, rate in vertical[1].series if rate > 0]
     assert max(rates_v1) > 1.5 * vertical[1].ops_per_sec
+
+
+# -- compaction concurrency timeline (PR-10 concurrency plane) ----------------
+
+def concurrency_profile(timeline, buckets=64):
+    """Step-sample ``stats.compaction_timeline`` — a list of
+    ``(sim_time, in_flight)`` transition points — into a digit string
+    (one character per bucket, holding the last value seen)."""
+    if not timeline:
+        return "", 0
+    end = timeline[-1][0] or 1.0
+    step = end / buckets
+    out, index, level = [], 0, 0
+    for bucket in range(buckets):
+        edge = (bucket + 1) * step
+        while index < len(timeline) and timeline[index][0] <= edge:
+            level = timeline[index][1]
+            index += 1
+        out.append(str(min(level, 9)))
+    return "".join(out), max(count for __, count in timeline)
+
+
+def run_concurrency_timeline():
+    curves = {}
+    for workers in (1, 2):
+        device, env, db = lightlsm_db(
+            HorizontalPlacement(), flush_workers=4,
+            compaction_workers=workers)
+        bench = DbBench(db, series_window=WINDOW)
+        bench.fill_sequential(clients=8, ops_per_client=FILL_OPS)
+        bench.quiesce()
+        curves[workers] = db.stats
+    return curves
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_compaction_concurrency(benchmark):
+    """How many compactions actually overlap over the fill: the engine
+    records every executor transition, and with 2 workers the timeline
+    must show real overlap (L0->L1 running next to a deeper merge)."""
+    curves = benchmark.pedantic(run_concurrency_timeline, rounds=1,
+                                iterations=1)
+
+    lines = ["Figure 6 (extension): in-flight compactions over the fill",
+             "(8 clients, 4 flush workers; each digit is the in-flight "
+             "count at that point in the run)", ""]
+    for workers, stats in sorted(curves.items()):
+        profile, peak = concurrency_profile(stats.compaction_timeline)
+        lines.append(f"{workers} compaction worker(s): "
+                     f"{stats.compactions} compactions, peak {peak} "
+                     f"in flight")
+        lines.append(f"    |{profile}|")
+    report("fig6_compaction_concurrency", lines)
+
+    peak1 = max(count for __, count in curves[1].compaction_timeline)
+    peak2 = max(count for __, count in curves[2].compaction_timeline)
+    assert peak1 == 1
+    assert peak2 == 2

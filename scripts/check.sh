@@ -36,6 +36,9 @@ python scripts/trace_guard.py
 echo "== policy guard (default-policy identity + WAF ablation smoke) =="
 python scripts/policy_guard.py
 
+echo "== lsm guard (default bit-identity + concurrency plane smoke) =="
+python scripts/lsm_guard.py
+
 echo "== crash-consistency smoke (randomized power cuts) =="
 python -m repro.faults.checker --seeds 20
 

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI guard for the LSM concurrency plane (a ``scripts/check.sh`` step).
+
+Three checks:
+
+1. **Default-spec bit-identity** — a fill + quiesce over LightLSM with
+   every worker count at 1 must land on the pinned pre-refactor
+   fingerprint exactly: ``sim_seconds``, ``events_processed``, the
+   sha256 digest of the per-put latency series, and the stall total.
+   The concurrency plane is opt-in; merely *existing* must not move a
+   single simulated event.  If a PR changes the timeline on purpose,
+   re-pin ``PINNED`` here in the same commit and say why.
+2. **Concurrency smoke** — under the same bursty fill, two flush
+   workers must finish in strictly less simulated time than one (the
+   frozen-memtable FIFO actually pipelines), and a 2-compaction-worker
+   run must reach ``max_in_flight >= 2`` without the executor's
+   overlapping-input assertion firing anywhere.
+3. **Dispatch sweep** — the §4.2 experiment: with a nonzero per-block
+   dispatch CPU and concurrent flush/compaction writers, two dispatch
+   workers must beat the paper's single dispatch thread by >= 1.2x
+   ops/s on the write-heavy phase.
+
+``--append`` records the sweep as a sha-stamped ``lsm_dispatch``
+entry in ``BENCH_perf.json``.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/lsm_guard.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.benchhelpers import append_trajectory, git_sha   # noqa: E402
+from repro.stack import StackSpec, build_stack              # noqa: E402
+from repro.units import KIB, MIB                            # noqa: E402
+
+#: The guard workload's fingerprint on the pre-refactor single-daemon
+#: engine (PR 10 baseline).  All-default worker counts must reproduce
+#: it bit-for-bit.
+PINNED = {
+    "sim_seconds": 0.60142025,
+    "events_processed": 27861,
+    "put_latency_digest": "cbfc61c40540c638",
+    "stall_seconds": 1.267275,
+    "slowdown_puts": 96,
+    "flushes": 24,
+    "compactions": 13,
+}
+
+#: The dispatch regime where §4.2's bottleneck binds: dispatch CPU
+#: comparable to a block program, several concurrent writers.
+DISPATCH_CPU = 2e-3
+MIN_DISPATCH_SPEEDUP = 1.2
+
+
+def guard_spec(**overrides) -> StackSpec:
+    base = dict(
+        name="lsm-guard", ftl="lightlsm",
+        geometry={"num_groups": 4, "pus_per_group": 2,
+                  "chunks_per_pu": 80, "pages_per_block": 6},
+        db={"block_size": 96 * KIB, "write_buffer_bytes": 1 * MIB,
+            "l0_compaction_trigger": 2, "level_size_multiplier": 2},
+        workload={"kind": "fill_sequential", "clients": 4,
+                  "ops_per_client": 6000})
+    base.update(overrides)
+    return StackSpec(**base)
+
+
+def run_fill(spec: StackSpec):
+    """Build, fill, quiesce; returns (stack, phase BenchResult)."""
+    stack = build_stack(spec)
+    bench = stack.dbbench()
+    workload = spec.workload
+    result = bench.fill_sequential(clients=workload.clients,
+                                   ops_per_client=workload.ops_per_client)
+    bench.quiesce()
+    return stack, result
+
+
+def latency_digest(stack) -> str:
+    samples = stack.obs.metrics.histogram("lsm.put.latency_s").samples()
+    blob = repr([round(x, 12) for x in samples]).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def check_default_identity() -> str:
+    stack, __ = run_fill(guard_spec(obs=True))
+    db = stack.db
+    got = {
+        "sim_seconds": round(stack.sim.now, 9),
+        "events_processed": stack.sim.events_processed,
+        "put_latency_digest": latency_digest(stack),
+        "stall_seconds": round(db.stats.stall_seconds, 9),
+        "slowdown_puts": db.stats.slowdown_puts,
+        "flushes": db.stats.flushes,
+        "compactions": db.stats.compactions,
+    }
+    if got != PINNED:
+        diff = {key: (PINNED[key], got[key]) for key in PINNED
+                if got[key] != PINNED[key]}
+        raise SystemExit(
+            f"FAIL: the default concurrency plane moved the timeline: "
+            f"(pinned, got) = {diff}.  If this PR changes the timeline "
+            f"on purpose, re-pin lsm_guard.PINNED in the same commit.")
+    return (f"default identity: {PINNED['sim_seconds']}s / "
+            f"{PINNED['events_processed']} events / "
+            f"put digest {PINNED['put_latency_digest']}")
+
+
+def check_concurrency_smoke() -> str:
+    serial, __ = run_fill(guard_spec())
+    pipelined, __r = run_fill(guard_spec(lsm_flush_workers=2))
+    if pipelined.sim.now >= serial.sim.now:
+        raise SystemExit(
+            f"FAIL: 2 flush workers did not beat 1 on sim-time "
+            f"({pipelined.sim.now} >= {serial.sim.now}) — the frozen "
+            f"queue is not pipelining")
+    if pipelined.db.stats.max_flush_queue_depth < 2:
+        raise SystemExit(
+            "FAIL: the flush queue never held 2 frozen memtables under "
+            "the bursty fill")
+    return (f"concurrency smoke: flush pipeline "
+            f"{serial.sim.now:.3f}s -> {pipelined.sim.now:.3f}s sim "
+            f"(queue depth {pipelined.db.stats.max_flush_queue_depth})")
+
+
+def check_input_locks() -> str:
+    """The lock-assertion sweep: multi-worker compaction must reach
+    real concurrency, and every acquire must pass the overlap assertion
+    (a violation raises ReproError out of the run)."""
+    stack, __ = run_fill(guard_spec(lsm_flush_workers=4,
+                                    lsm_compaction_workers=2))
+    executor = stack.db.executor
+    if executor.max_in_flight < 2:
+        raise SystemExit(
+            f"FAIL: compaction concurrency never exceeded "
+            f"{executor.max_in_flight} with 2 workers")
+    if executor.in_flight != 0:
+        raise SystemExit(
+            f"FAIL: {executor.in_flight} compaction locks leaked "
+            f"past quiesce")
+    timeline = stack.db.stats.compaction_timeline
+    return (f"input locks: max {executor.max_in_flight} concurrent "
+            f"compactions, {len(timeline)} timeline samples, "
+            f"0 overlap violations")
+
+
+def check_dispatch_sweep() -> tuple:
+    rows = []
+    for workers in (1, 2, 4):
+        __, result = run_fill(guard_spec(
+            ftl_config={"dispatch_cpu": DISPATCH_CPU},
+            lsm_flush_workers=2, lsm_compaction_workers=2,
+            lightlsm_dispatch_workers=workers))
+        rows.append({"dispatch_workers": workers,
+                     "ops_per_sec": round(result.ops_per_sec, 1),
+                     "stall_seconds": round(result.stall_seconds, 6),
+                     "slowdown_puts": result.slowdown_puts})
+    single = rows[0]["ops_per_sec"]
+    best = max(row["ops_per_sec"] for row in rows[1:])
+    speedup = best / single
+    if speedup < MIN_DISPATCH_SPEEDUP:
+        raise SystemExit(
+            f"FAIL: multi-dispatch peaked at {speedup:.2f}x the single "
+            f"dispatch thread (< {MIN_DISPATCH_SPEEDUP}x) — the §4.2 "
+            f"bottleneck experiment regressed")
+    verdict = (f"dispatch sweep: 1 worker {single:.0f} ops/s, best "
+               f"multi {best:.0f} ops/s ({speedup:.2f}x)")
+    summary = {"dispatch_cpu": DISPATCH_CPU, "rows": rows,
+               "speedup": round(speedup, 4)}
+    return verdict, summary
+
+
+def main(argv=None) -> int:
+    append = argv is not None and "--append" in argv
+    print(check_default_identity())
+    print(check_concurrency_smoke())
+    print(check_input_locks())
+    verdict, summary = check_dispatch_sweep()
+    print(verdict)
+    if append:
+        append_trajectory("lsm_dispatch", summary, sha=git_sha())
+        print("appended lsm_dispatch entry to BENCH_perf.json")
+    print("lsm guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

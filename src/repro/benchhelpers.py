@@ -171,12 +171,24 @@ def evaluation_device(chunks_per_pu: int = 160) -> OpenChannelSSD:
 
 def lightlsm_db(placement: PlacementPolicy,
                 chunks_per_pu: int = 160,
-                write_buffer_bytes: int = 4 * MIB) -> Tuple[OpenChannelSSD,
-                                                            LightLSMEnv, DB]:
+                write_buffer_bytes: int = 4 * MIB,
+                flush_workers: int = 1,
+                compaction_workers: int = 1,
+                dispatch_workers: int = 1,
+                dispatch_cpu: float = 0.0) -> Tuple[OpenChannelSSD,
+                                                    LightLSMEnv, DB]:
     """The Figure 5/6 stack: RocksDB-lite over LightLSM over the scaled
-    evaluation drive, 96 KB blocks, no compression, no block cache."""
+    evaluation drive, 96 KB blocks, no compression, no block cache.
+
+    The worker counts are the PR-10 concurrency axes; the defaults are
+    the paper's configuration (one flush daemon, one compaction daemon,
+    one dispatch thread with free submissions)."""
     stack = build_stack(evaluation_spec(
         chunks_per_pu, ftl="lightlsm", placement=placement.name,
+        ftl_config={"dispatch_cpu": dispatch_cpu},
+        lsm_flush_workers=flush_workers,
+        lsm_compaction_workers=compaction_workers,
+        lightlsm_dispatch_workers=dispatch_workers,
         db={"block_size": 96 * KIB,
             "write_buffer_bytes": write_buffer_bytes}))
     return stack.device, stack.env, stack.db

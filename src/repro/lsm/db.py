@@ -15,15 +15,19 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.lsm.backpressure import OK, SLOWDOWN, STOP, BackpressureState
 from repro.lsm.compaction import (
+    CompactionExecutor,
     MemCursor,
     TableCursor,
     TableRef,
+    level_max_tables,
     merge_into_proc,
     pick_compaction,
 )
 from repro.lsm.env import StorageEnv
-from repro.lsm.memtable import TOMBSTONE, MemTable, _Tombstone
+from repro.lsm.memtable import (
+    TOMBSTONE, ImmutableMemtable, MemTable, _Tombstone)
 from repro.qos.tokenbucket import TokenBucket
 from repro.lsm.sstable import SSTableBuilder, SSTableMeta, search_block
 from repro.sim.core import Interrupt, Simulator
@@ -50,6 +54,11 @@ class DBConfig:
     slowdown_delay: float = 1e-3        # extra latency per put in slowdown
     rate_limit_bytes_per_sec: Optional[float] = None
     readahead: bool = True              # iterator/compaction block prefetch
+    # -- concurrency plane (defaults reproduce the single-daemon engine
+    # bit-identically; scripts/lsm_guard.py pins that) -----------------
+    flush_workers: int = 1              # procs draining the frozen queue
+    compaction_workers: int = 1         # max concurrent compactions
+    max_immutable_memtables: int = 0    # frozen-queue depth (0 = workers)
 
 
 @dataclass
@@ -63,6 +72,15 @@ class DBStats:
     slowdown_puts: int = 0
     tables_written: int = 0
     blocks_read: int = 0
+    #: Transitions of the bottom level into budget overrun (there is no
+    #: deeper level to compact into, so the overrun is silent otherwise).
+    bottom_level_oversize: int = 0
+    #: High-water mark of the frozen-memtable FIFO.
+    max_flush_queue_depth: int = 0
+    #: (sim_time, concurrent_compactions) at every compaction start/end
+    #: — the concurrency timeline bench_fig6 renders.
+    compaction_timeline: List[Tuple[float, int]] = field(
+        default_factory=list)
 
 
 class DB:
@@ -73,11 +91,29 @@ class DB:
             raise ReproError(
                 f"block_size {config.block_size} incompatible with the "
                 f"env's minimum write unit {env.min_block_size}")
+        if config.flush_workers < 1:
+            raise ReproError(
+                f"DBConfig.flush_workers must be >= 1, "
+                f"got {config.flush_workers}")
+        if config.compaction_workers < 1:
+            raise ReproError(
+                f"DBConfig.compaction_workers must be >= 1, "
+                f"got {config.compaction_workers}")
+        if config.max_immutable_memtables < 0:
+            raise ReproError(
+                f"DBConfig.max_immutable_memtables must be >= 0 "
+                f"(0 = flush_workers), got {config.max_immutable_memtables}")
         self.env = env
         self.config = config
         self.sim = sim
         self.memtable = MemTable()
-        self.immutable: Optional[List[Tuple[bytes, object]]] = None
+        #: The frozen-memtable FIFO: rotation appends, flush workers
+        #: claim front-to-back, completed entries retire from the front
+        #: in order (so reads walking newest-first never see an older
+        #: frozen memtable shadow a newer, already-flushed one).
+        self.immutable_queue: List[ImmutableMemtable] = []
+        self._immutable_cap = (config.max_immutable_memtables
+                               or config.flush_workers)
         self.levels: List[List[TableRef]] = [
             [] for __ in range(config.max_levels)]
         self.limiter = TokenBucket(sim, config.rate_limit_bytes_per_sec)
@@ -88,19 +124,26 @@ class DB:
         # QoS (repro.qos): inherited the same way; when present,
         # compaction yields to backlogged foreground reads block by block.
         self.qos = sim.qos
+        #: Explicit write-controller state machine (OK/SLOWDOWN/STOP).
+        self.backpressure = BackpressureState(config, obs=self.obs)
+        #: Admission control for up to M concurrent compactions.
+        self.executor = CompactionExecutor(config.compaction_workers)
         self._next_sstable_id = 1
+        self._memtable_seq = 0
         self._alive = True
         self._flush_wanted = sim.event()
         self._compact_wanted = sim.event()
         self._write_ok = sim.event()
         self._write_ok.succeed()
-        self._flush_idle = True
-        self._compacting = False
+        self._flushes_active = 0
+        self._bottom_oversize = False
         self._pending_deletes = 0
         self._daemons = [
-            sim.spawn(self._flush_daemon(), name="lsm-flush"),
-            sim.spawn(self._compaction_daemon(), name="lsm-compact"),
-        ]
+            sim.spawn(self._flush_worker(), name=f"lsm-flush-{worker}")
+            for worker in range(config.flush_workers)]
+        self._daemons.extend(
+            sim.spawn(self._compaction_worker(), name=f"lsm-compact-{worker}")
+            for worker in range(config.compaction_workers))
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -118,6 +161,10 @@ class DB:
             db.levels[level].append(TableRef(handle=handle, meta=meta))
         for level_tables in db.levels:
             level_tables.sort(key=lambda t: -t.meta.sequence)
+        for table in db.levels[0]:
+            # Recovery has no freeze sequences; sstable sequence is the
+            # same total order for tables written by one engine.
+            table.l0_seq = table.meta.sequence
         for level in range(1, config.max_levels):
             db.levels[level].sort(key=lambda t: t.meta.first_key)
         return db
@@ -197,24 +244,23 @@ class DB:
         self._maybe_rotate_memtable()
 
     def flush_proc(self):
-        """Force the memtable to disk and wait for it."""
-        if len(self.memtable) == 0 and self.immutable is None:
+        """Force the memtable to disk and wait for the queue to drain."""
+        if len(self.memtable) == 0 and not self.immutable_queue:
             return
-        if self.immutable is None:
+        if len(self.memtable) \
+                and len(self.immutable_queue) < self._immutable_cap:
             self._rotate_memtable()
-        while self.immutable is not None or not self._flush_idle:
+        while self.immutable_queue or self._flushes_active:
             yield self.sim.timeout(1e-4)
 
     def _write_gate_proc(self):
-        """RocksDB write controller: stop writes entirely when L0 is
-        overwhelmed or a memtable switch is pending; slow them down when
-        L0 approaches the trigger."""
+        """RocksDB write controller: STOP blocks the put on the write
+        gate until a background completion reopens it; SLOWDOWN charges
+        the put an extra delay so compaction can catch up."""
+        bp = self.backpressure
         while True:
-            stalled = (self.immutable is not None
-                       and self.memtable.approximate_bytes
-                       >= self.config.write_buffer_bytes) \
-                or len(self.levels[0]) >= self.config.l0_stop_trigger
-            if not stalled:
+            state = bp.observe(self._classify_backpressure(), self.sim.now)
+            if state != STOP:
                 break
             started = self.sim.now
             gate = self._write_ok
@@ -226,22 +272,39 @@ class DB:
             if self.obs is not None:
                 self.obs.metrics.histogram("lsm.stall_s").record(
                     self.sim.now - started)
-        if len(self.levels[0]) >= self.config.l0_slowdown_trigger:
+        if state == SLOWDOWN:
             self.stats.slowdown_puts += 1
             yield self.sim.timeout(self.config.slowdown_delay)
 
+    def _classify_backpressure(self) -> str:
+        return self.backpressure.classify(
+            len(self.immutable_queue) >= self._immutable_cap,
+            self.memtable.approximate_bytes
+            >= self.config.write_buffer_bytes,
+            len(self.levels[0]))
+
     def _open_write_gate(self) -> None:
+        # Background completions re-sample the controller so residency
+        # reflects the release, not just the next gated put.
+        self.backpressure.observe(self._classify_backpressure(),
+                                  self.sim.now)
         if not self._write_ok.triggered:
             self._write_ok.succeed()
 
     def _maybe_rotate_memtable(self) -> None:
         if (self.memtable.approximate_bytes >= self.config.write_buffer_bytes
-                and self.immutable is None):
+                and len(self.immutable_queue) < self._immutable_cap):
             self._rotate_memtable()
 
     def _rotate_memtable(self) -> None:
-        self.immutable = list(self.memtable.items_sorted())
+        self._memtable_seq += 1
+        self.immutable_queue.append(self.memtable.freeze(self._memtable_seq))
+        self.stats.max_flush_queue_depth = max(
+            self.stats.max_flush_queue_depth, len(self.immutable_queue))
         self.memtable = MemTable()
+        if self.obs is not None:
+            self.obs.metrics.gauge("lsm.flush.queue_depth").set(
+                len(self.immutable_queue))
         if not self._flush_wanted.triggered:
             self._flush_wanted.succeed()
 
@@ -255,12 +318,13 @@ class DB:
         if self.config.get_cpu:
             yield self.sim.timeout(self.config.get_cpu)
         value = self.memtable.get(key)
-        if value is None and self.immutable is not None:
-            import bisect
-            items = self.immutable
-            index = bisect.bisect_left(items, (key, ))
-            if index < len(items) and items[index][0] == key:
-                value = items[index][1]
+        if value is None:
+            # Frozen memtables, newest first: a flush in flight must
+            # stay readable until it (and everything older) retires.
+            for entry in reversed(self.immutable_queue):
+                value = entry.get(key)
+                if value is not None:
+                    break
         if value is not None:
             return None if isinstance(value, _Tombstone) else value
         # L0: newest table first; deeper levels: at most one candidate.
@@ -296,8 +360,8 @@ class DB:
             trace.host_op("scan", size=limit, stream=stream)
         snapshot: List[TableRef] = []
         cursors = [MemCursor(list(self.memtable.items_sorted()))]
-        if self.immutable is not None:
-            cursors.append(MemCursor(list(self.immutable)))
+        for entry in reversed(self.immutable_queue):
+            cursors.append(MemCursor(entry.items))
         for level, tables in enumerate(self.levels):
             for table in tables:
                 table.refs += 1
@@ -360,35 +424,57 @@ class DB:
 
     # -- background: flush ------------------------------------------------------------
 
-    def _flush_daemon(self):
+    def _flush_worker(self):
+        """One of N procs draining the frozen-memtable FIFO.
+
+        Workers claim the oldest QUEUED entry; a flushed entry retires
+        from the queue only once everything older has also flushed, so
+        the read path's newest-first walk stays correct while flushes
+        complete out of order.
+        """
         try:
             while self._alive:
-                if self.immutable is None:
-                    yield self._flush_wanted
-                    self._flush_wanted = self.sim.event()
+                entry = next((e for e in self.immutable_queue
+                              if e.state == ImmutableMemtable.QUEUED), None)
+                if entry is None:
+                    gate = self._flush_wanted
+                    yield gate
+                    # First waiter to wake renews the shared event; the
+                    # rest re-scan and converge on the renewed one.
+                    if self._flush_wanted is gate:
+                        self._flush_wanted = self.sim.event()
                     continue
-                self._flush_idle = False
-                items = self.immutable
-                cursor = MemCursor(items)
+                entry.state = ImmutableMemtable.FLUSHING
+                self._flushes_active += 1
                 obs = self.obs
                 if obs is not None:
                     # Background work: one root span per memtable flush.
                     span = obs.begin("lsm", "flush")
                     flush_started = self.sim.now
-                yield from self._write_tables_proc([cursor], level=0,
-                                                   drop_tombstones=False)
+                yield from self._write_tables_proc(
+                    [MemCursor(entry.items)], level=0,
+                    drop_tombstones=False, l0_seq=entry.seq)
                 if obs is not None:
-                    obs.end(span, entries=len(items))
+                    obs.end(span, entries=len(entry.items))
                     obs.metrics.counter("lsm.flush.count").increment()
                     obs.metrics.histogram("lsm.flush.duration_s").record(
                         self.sim.now - flush_started)
-                self.immutable = None
-                self._flush_idle = True
+                entry.state = ImmutableMemtable.FLUSHED
+                self._retire_flushed()
+                self._flushes_active -= 1
                 self.stats.flushes += 1
                 self._open_write_gate()
                 self._poke_compaction()
         except Interrupt:
             return
+
+    def _retire_flushed(self) -> None:
+        """Pop flushed entries from the FIFO front, in freeze order."""
+        queue = self.immutable_queue
+        while queue and queue[0].state == ImmutableMemtable.FLUSHED:
+            queue.pop(0)
+        if self.obs is not None:
+            self.obs.metrics.gauge("lsm.flush.queue_depth").set(len(queue))
 
     # -- background: compaction ----------------------------------------------------------
 
@@ -398,25 +484,54 @@ class DB:
             if not self._compact_wanted.triggered:
                 self._compact_wanted.succeed()
 
-    def _compaction_daemon(self):
+    def _compaction_worker(self):
+        """One of M procs running admissible compactions concurrently.
+
+        ``pick_compaction(busy=executor)`` skips candidates that share
+        inputs or key ranges with an in-flight compaction, and
+        :meth:`CompactionExecutor.acquire` re-asserts that before the
+        merge starts.  Installs need no extra serialization: version
+        edits happen between yields, atomically in sim time.
+        """
         try:
             while self._alive:
-                pick = pick_compaction(
-                    self.levels, self.config.l0_compaction_trigger,
-                    self.config.level_size_multiplier)
+                pick = None
+                if not self.executor.saturated:
+                    pick = pick_compaction(
+                        self.levels, self.config.l0_compaction_trigger,
+                        self.config.level_size_multiplier,
+                        busy=self.executor)
                 if pick is None:
-                    yield self._compact_wanted
-                    self._compact_wanted = self.sim.event()
+                    gate = self._compact_wanted
+                    yield gate
+                    if self._compact_wanted is gate:
+                        self._compact_wanted = self.sim.event()
                     continue
-                self._compacting = True
+                lock = self.executor.acquire(pick)
+                self._record_compaction_concurrency()
                 try:
                     yield from self._run_compaction_proc(pick)
                 finally:
-                    self._compacting = False
+                    self.executor.release(lock)
+                    self._record_compaction_concurrency()
                 self.stats.compactions += 1
                 self._open_write_gate()
+                if self.config.compaction_workers > 1:
+                    # Inputs this merge consumed may have unblocked a
+                    # pick a sibling skipped; wake the idle workers.
+                    # (Skipped at M=1: the lone worker re-picks itself,
+                    # and the legacy engine never self-poked — the
+                    # bit-identity pin keeps it that way.)
+                    self._poke_compaction()
         except Interrupt:
             return
+
+    def _record_compaction_concurrency(self) -> None:
+        self.stats.compaction_timeline.append(
+            (self.sim.now, self.executor.in_flight))
+        if self.obs is not None:
+            self.obs.metrics.gauge("lsm.compaction.concurrent").set(
+                self.executor.in_flight)
 
     def _run_compaction_proc(self, pick):
         obs = self.obs
@@ -449,6 +564,7 @@ class DB:
             self.env.log_version_edit(("del", table.handle.sstable_id,
                                        table.handle.level))
             self._release(table)
+        self._update_level_obs()
         if obs is not None:
             obs.end(span, target_level=pick.target_level,
                     inputs=len(pick.inputs), outputs=len(outputs))
@@ -462,12 +578,17 @@ class DB:
 
     def _write_tables_proc(self, cursors, level: int,
                            drop_tombstones: bool,
-                           yield_to_foreground: bool = False):
+                           yield_to_foreground: bool = False,
+                           l0_seq: int = 0):
         """Merge *cursors* into one or more new SSTables at *level*.
 
         *yield_to_foreground* (compaction only — flushes gate admission
         and must finish promptly) pauses before each block write while
         the QoS scheduler reports backlogged foreground reads.
+
+        *l0_seq* (flush only) is the source memtable's freeze sequence:
+        concurrent flushes can install out of order, so L0 ranks by
+        freeze order, not install time.
         """
         outputs: List[TableRef] = []
         bg_gate = (self.qos.background_gate_proc
@@ -504,7 +625,7 @@ class DB:
             else:
                 handle = yield from writer.finish_proc(meta.serialize())
                 table = TableRef(handle=handle, meta=meta)
-                self._install_table(table, level)
+                self._install_table(table, level, l0_seq)
                 outputs.append(table)
                 self.stats.tables_written += 1
             state["builder"] = None
@@ -529,13 +650,45 @@ class DB:
         yield from finish_table_proc()
         return outputs
 
-    def _install_table(self, table: TableRef, level: int) -> None:
+    def _install_table(self, table: TableRef, level: int,
+                       l0_seq: int = 0) -> None:
         self.env.log_version_edit(("add", table.handle.sstable_id, level))
         if level == 0:
-            self.levels[0].insert(0, table)   # newest first
+            # Newest first by (freeze_seq, sstable_seq): an older frozen
+            # memtable whose flush finishes late must not land in front
+            # of tables holding newer versions of its keys.
+            table.l0_seq = l0_seq
+            rank = (l0_seq, table.meta.sequence)
+            index = 0
+            tables = self.levels[0]
+            while index < len(tables) and (
+                    tables[index].l0_seq,
+                    tables[index].meta.sequence) > rank:
+                index += 1
+            tables.insert(index, table)
         else:
             self.levels[level].append(table)
             self.levels[level].sort(key=lambda t: t.meta.first_key)
+        self._update_level_obs()
+
+    def _update_level_obs(self) -> None:
+        """Refresh per-level gauges and the bottom-level overrun counter
+        (the bottom level is never a compaction source, so its budget
+        overruns would otherwise be invisible)."""
+        obs = self.obs
+        if obs is not None:
+            for level, tables in enumerate(self.levels):
+                obs.metrics.gauge(f"lsm.level.{level}.tables").set(
+                    len(tables))
+        bottom = self.config.max_levels - 1
+        oversize = len(self.levels[bottom]) > level_max_tables(
+            bottom, self.config.level_size_multiplier)
+        if oversize and not self._bottom_oversize:
+            self.stats.bottom_level_oversize += 1
+            if obs is not None:
+                obs.metrics.counter(
+                    "lsm.compaction.bottom_level_oversize").increment()
+        self._bottom_oversize = oversize
 
     # -- table lifetime -----------------------------------------------------------------
 
@@ -561,8 +714,8 @@ class DB:
             pending = pick_compaction(self.levels,
                                       self.config.l0_compaction_trigger,
                                       self.config.level_size_multiplier)
-            busy = (self.immutable is not None or not self._flush_idle
-                    or self._compacting or pending is not None
+            busy = (bool(self.immutable_queue) or self._flushes_active > 0
+                    or self.executor.in_flight > 0 or pending is not None
                     or self._pending_deletes > 0)
             if not busy:
                 return

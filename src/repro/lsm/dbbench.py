@@ -36,13 +36,26 @@ class BenchResult:
     stall_seconds: float = 0.0
     compactions: int = 0
     flushes: int = 0
+    #: Puts that paid the SLOWDOWN delay during this phase.
+    slowdown_puts: int = 0
+    #: Simulated seconds per write-controller state over this phase
+    #: ({"ok": ..., "slowdown": ..., "stop": ...}) — the *why* behind an
+    #: ops/s move in a worker-count sweep.
+    backpressure_residency: dict = field(default_factory=dict)
 
     def summary(self) -> str:
+        residency = ""
+        if self.backpressure_residency:
+            residency = " bp[" + " ".join(
+                f"{state}={seconds:.2f}s"
+                for state, seconds in
+                sorted(self.backpressure_residency.items())) + "]"
         return (f"{self.workload:16s} clients={self.clients}: "
                 f"{self.ops_per_sec / 1e3:8.3f} kops/s "
                 f"({self.ops} ops in {self.elapsed:.2f}s, "
                 f"{self.compactions} compactions, "
-                f"stall {self.stall_seconds:.2f}s)")
+                f"stall {self.stall_seconds:.2f}s, "
+                f"{self.slowdown_puts} slowed{residency})")
 
 
 class DbBench:
@@ -76,6 +89,9 @@ class DbBench:
         stalls_before = self.db.stats.stall_seconds
         compactions_before = self.db.stats.compactions
         flushes_before = self.db.stats.flushes
+        slowdowns_before = self.db.stats.slowdown_puts
+        residency_before = self.db.backpressure.residency_summary(
+            self.sim.now)
         started = self.sim.now
 
         def client(client_id: int):
@@ -93,6 +109,8 @@ class DbBench:
         self.sim.run_until(self.sim.all_of(workers))
         elapsed = self.sim.now - started
         self.populated_keys = max(self.populated_keys, ops_per_client)
+        residency_after = self.db.backpressure.residency_summary(
+            self.sim.now)
         return BenchResult(
             workload="fill-sequential", clients=clients,
             ops=clients * ops_per_client, elapsed=elapsed,
@@ -100,7 +118,12 @@ class DbBench:
             series=recorder.series(),
             stall_seconds=self.db.stats.stall_seconds - stalls_before,
             compactions=self.db.stats.compactions - compactions_before,
-            flushes=self.db.stats.flushes - flushes_before)
+            flushes=self.db.stats.flushes - flushes_before,
+            slowdown_puts=self.db.stats.slowdown_puts - slowdowns_before,
+            backpressure_residency={
+                state: round(residency_after[state]
+                             - residency_before.get(state, 0.0), 9)
+                for state in residency_after})
 
     def read_sequential(self, clients: int,
                         ops_per_client: int) -> BenchResult:

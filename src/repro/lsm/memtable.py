@@ -8,7 +8,8 @@ compaction to the last level drops it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class _Tombstone:
@@ -56,6 +57,11 @@ class MemTable:
         for key in sorted(self._entries):
             yield key, self._entries[key]
 
+    def freeze(self, seq: int) -> "ImmutableMemtable":
+        """Snapshot this memtable as a frozen flush candidate."""
+        return ImmutableMemtable(seq=seq, items=list(self.items_sorted()),
+                                 approximate_bytes=self._bytes)
+
     def _account(self, key: bytes, value: bytes) -> None:
         # RocksDB arena semantics: every insert consumes memtable space,
         # including overwrites of a key already present (each write is a
@@ -64,3 +70,43 @@ class MemTable:
         # cumulative insert volume — which is what makes N clients writing
         # the same key sequence generate N times the flush pressure.
         self._bytes += len(key) + len(value) + 16   # 16 B node overhead
+
+
+class ImmutableMemtable:
+    """A frozen memtable on the flush FIFO.
+
+    LevelDB/RocksDB freeze the active memtable into an *immutable*
+    memtable and hand it to a background flush; until the flush (and
+    every older flush — installs are ordered) completes, reads must
+    still see the frozen entries.  ``seq`` is the freeze order: the
+    read path walks the queue newest-first, and a frozen memtable's L0
+    output tables are ranked by this sequence so concurrent flushes
+    can never let an older table shadow newer data.
+    """
+
+    __slots__ = ("seq", "items", "approximate_bytes", "state")
+
+    #: Lifecycle: queued -> flushing -> flushed (awaiting ordered
+    #: removal from the FIFO front).
+    QUEUED, FLUSHING, FLUSHED = "queued", "flushing", "flushed"
+
+    def __init__(self, seq: int, items: List[Tuple[bytes, Value]],
+                 approximate_bytes: int = 0):
+        self.seq = seq
+        self.items = items
+        self.approximate_bytes = approximate_bytes
+        self.state = ImmutableMemtable.QUEUED
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def get(self, key: bytes) -> Optional[Value]:
+        """The value (or TOMBSTONE) for *key*, None if absent."""
+        index = bisect.bisect_left(self.items, (key,))
+        if index < len(self.items) and self.items[index][0] == key:
+            return self.items[index][1]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ImmutableMemtable seq={self.seq} "
+                f"entries={len(self.items)} state={self.state}>")

@@ -223,15 +223,23 @@ def build_stack(spec: StackSpec) -> Stack:
                      if spec.placement == "horizontal"
                      else VerticalPlacement())
         kwargs = dict(spec.ftl_config)
-        unknown = set(kwargs) - {"chunks_per_sstable"}
+        allowed = {"chunks_per_sstable", "dispatch_workers",
+                   "dispatch_cpu"}
+        unknown = set(kwargs) - allowed
         if unknown:
             raise ReproError(
-                f"ftl_config: lightlsm accepts only 'chunks_per_sstable', "
+                f"ftl_config: lightlsm accepts only {sorted(allowed)}, "
                 f"got {sorted(unknown)}")
+        kwargs.setdefault("dispatch_workers",
+                          spec.lightlsm_dispatch_workers)
         stack.env = LightLSMEnv(stack.media, placement, **kwargs)
     # spec.ftl == "none": a raw device stack (isolation/landscape shapes).
 
     if host == "db" and stack.env is not None:
-        db_config = _config_from(DBConfig, spec.db, "db")
+        db_kwargs = dict(spec.db)
+        db_kwargs.setdefault("flush_workers", spec.lsm_flush_workers)
+        db_kwargs.setdefault("compaction_workers",
+                             spec.lsm_compaction_workers)
+        db_config = _config_from(DBConfig, db_kwargs, "db")
         stack.db = DB(stack.env, db_config, device.sim)
     return stack

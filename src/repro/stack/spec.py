@@ -224,6 +224,16 @@ class StackSpec:
     wlfc: Dict[str, object] = field(default_factory=dict)
     #: Kwargs for :class:`repro.lsm.DBConfig` (host="db").
     db: Dict[str, object] = field(default_factory=dict)
+    #: LSM concurrency plane (host="db"): flush procs draining the
+    #: frozen-memtable FIFO and the max concurrent compactions.  1/1 is
+    #: the historical single-daemon engine, bit-identically (pinned by
+    #: scripts/lsm_guard.py).  An explicit ``db["flush_workers"]`` /
+    #: ``db["compaction_workers"]`` wins over these.
+    lsm_flush_workers: int = 1
+    lsm_compaction_workers: int = 1
+    #: Dispatch loops for ftl="lightlsm" (§4.2: the paper runs one).
+    #: An explicit ``ftl_config["dispatch_workers"]`` wins.
+    lightlsm_dispatch_workers: int = 1
     #: Kwargs for :class:`repro.llama.LlamaConfig` (host="llama").
     llama: Dict[str, object] = field(default_factory=dict)
     #: host="db" over oxblock only: extent size for BlockDevEnv, in
@@ -289,6 +299,22 @@ class StackSpec:
             _check(self.ftl == "oxblock",
                    f"placement_policy {self.placement_policy!r} needs "
                    f"ftl 'oxblock', not {self.ftl!r}")
+        for name in ("lsm_flush_workers", "lsm_compaction_workers",
+                     "lightlsm_dispatch_workers"):
+            _check(isinstance(getattr(self, name), int)
+                   and getattr(self, name) >= 1,
+                   f"{name} must be an int >= 1, "
+                   f"got {getattr(self, name)!r}")
+        if self.lightlsm_dispatch_workers != 1:
+            _check(self.ftl == "lightlsm",
+                   f"lightlsm_dispatch_workers="
+                   f"{self.lightlsm_dispatch_workers} needs ftl "
+                   f"'lightlsm', not {self.ftl!r}")
+        if (self.lsm_flush_workers != 1
+                or self.lsm_compaction_workers != 1):
+            _check(self.resolved_host == "db",
+                   f"lsm_flush_workers/lsm_compaction_workers need the "
+                   f"'db' host, not {self.resolved_host!r}")
         self.geometry.validate()
         for tenant in self.tenants:
             tenant.validate()
